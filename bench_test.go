@@ -1,0 +1,183 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus the DESIGN.md ablations. Each bench runs the same code path as
+// `cmd/figures`; the Table 1 / Figure 4 benches use a size-scaled workload
+// (same 3.47 s granularity, fewer nodes) so an iteration stays in benchmark
+// territory — run `go run ./cmd/figures -all` for the paper-size rows.
+package gossipbnb
+
+import (
+	"fmt"
+	"testing"
+
+	"gossipbnb/internal/exp"
+)
+
+// BenchmarkFigure3 regenerates the execution-time breakdown of Figure 3
+// (1..8 processors, ~3,500-node problem at 0.01 s/node).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Figure3(1)
+		if len(rows) != 8 || !rows[0].OptimumOK {
+			b.Fatal("figure 3 regeneration failed")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1's measurement at its smallest and
+// largest processor counts on a size-scaled Table 1 workload.
+func BenchmarkTable1(b *testing.B) {
+	w := exp.ScaledLargeWorkload(1, 8001)
+	for _, procs := range []int{10, 100} {
+		procs := procs
+		b.Run(benchName("procs", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row := exp.Measure(w, procs, 1)
+				if !row.OptimumOK {
+					b.Fatal("wrong optimum")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates the Figure 4 sweep shape (execution time and
+// communication vs processors) on the scaled workload.
+func BenchmarkFigure4(b *testing.B) {
+	w := exp.ScaledLargeWorkload(1, 8001)
+	for i := 0; i < b.N; i++ {
+		prev := 0.0
+		for _, procs := range []int{10, 40, 70, 100} {
+			row := exp.Measure(w, procs, 1)
+			if !row.OptimumOK {
+				b.Fatal("wrong optimum")
+			}
+			if prev != 0 && row.ExecSeconds > prev*1.3 {
+				b.Fatalf("execution time not shrinking with processors: %g after %g",
+					row.ExecSeconds, prev)
+			}
+			prev = row.ExecSeconds
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the failure-free Gantt run of Figure 5.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := exp.Figure5(1)
+		if !g.Result.OptimumOK || g.Log.Len() == 0 {
+			b.Fatal("figure 5 regeneration failed")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the crash-and-recover Gantt run of Figure 6
+// (two of three processors crash at ~85%).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := exp.Figure6(1)
+		if !g.Result.Terminated || !g.Result.OptimumOK {
+			b.Fatal("figure 6 survivor failed")
+		}
+	}
+}
+
+// BenchmarkGranularity regenerates the §6.3.1 granularity sweep.
+func BenchmarkGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Granularity(1)
+		if len(rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkFaultTolerance regenerates the crash-scenario matrix verifying
+// that losing up to all but one process preserves the solution.
+func BenchmarkFaultTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range exp.FaultTolerance(1) {
+			if !r.Terminated || !r.OptimumOK {
+				b.Fatalf("scenario failed: %+v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkDIBComparison regenerates the §5.5 comparison with DIB.
+func BenchmarkDIBComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.DIBComparison(1)
+		if len(rows) == 0 {
+			b.Fatal("empty comparison")
+		}
+	}
+}
+
+// BenchmarkCentralized regenerates the §3 centralized-baseline comparison.
+func BenchmarkCentralized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Centralized(1)
+		if len(rows) == 0 {
+			b.Fatal("empty comparison")
+		}
+	}
+}
+
+// BenchmarkMembership regenerates the §5.2 membership measurements.
+func BenchmarkMembership(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Membership(1)
+		if len(rows) == 0 {
+			b.Fatal("empty measurement")
+		}
+	}
+}
+
+// BenchmarkAblationReportPolicy sweeps the work-report batch and fanout.
+func BenchmarkAblationReportPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(exp.AblationReportPolicy(1)) == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}
+
+// BenchmarkAblationRecoveryPatience sweeps the failure-suspicion trigger.
+func BenchmarkAblationRecoveryPatience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(exp.AblationRecoveryPatience(1)) == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}
+
+// BenchmarkAblationCompression measures report compression vs load.
+func BenchmarkAblationCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(exp.AblationCompression(1)) == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}
+
+// BenchmarkAblationSelectRule compares local selection disciplines.
+func BenchmarkAblationSelectRule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(exp.AblationSelectRule(1)) != 2 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// BenchmarkAblationAdaptiveReports compares fixed and adaptive flushing.
+func BenchmarkAblationAdaptiveReports(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(exp.AblationAdaptiveReports(1)) != 6 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return fmt.Sprintf("%s=%d", prefix, n)
+}

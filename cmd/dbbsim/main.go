@@ -1,0 +1,118 @@
+// Command dbbsim runs one simulated scenario of the decentralized
+// fault-tolerant B&B algorithm and prints its measurements.
+//
+// Usage:
+//
+//	dbbsim -procs 16 -size 10000 -mean 0.05                 # generated tree
+//	dbbsim -procs 16 -tree tree.gbbt                        # saved tree
+//	dbbsim -procs 8 -crash 30:3 -crash 40:5 -loss 0.05      # fault injection
+//	dbbsim -procs 3 -gantt                                  # ASCII Gantt
+//	dbbsim -procs 16 -membership                            # §5.2 protocol on
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"gossipbnb/internal/btree"
+	"gossipbnb/internal/dbnb"
+	"gossipbnb/internal/metrics"
+	"gossipbnb/internal/trace"
+)
+
+// crashList collects repeated -crash TIME:NODE flags.
+type crashList []dbnb.Crash
+
+func (c *crashList) String() string { return fmt.Sprint(*c) }
+
+func (c *crashList) Set(s string) error {
+	var t float64
+	var n int
+	if _, err := fmt.Sscanf(s, "%f:%d", &t, &n); err != nil {
+		return fmt.Errorf("want TIME:NODE, got %q", s)
+	}
+	*c = append(*c, dbnb.Crash{Time: t, Node: n})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dbbsim: ")
+	var crashes crashList
+	var (
+		procs    = flag.Int("procs", 8, "number of processes")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		treePath = flag.String("tree", "", "basic-tree file (else a tree is generated)")
+		size     = flag.Int("size", 10001, "generated tree size")
+		mean     = flag.Float64("mean", 0.05, "generated mean node cost, seconds")
+		prune    = flag.Bool("prune", false, "enable incumbent-based elimination")
+		loss     = flag.Float64("loss", 0, "message loss probability")
+		factor   = flag.Float64("granularity", 1, "node-cost multiplier (§6.3.1)")
+		quiet    = flag.Float64("quiet", 0, "recovery quiet window, seconds (0 = default)")
+		member   = flag.Bool("membership", false, "run the §5.2 membership protocol")
+		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt of the run")
+	)
+	flag.Var(&crashes, "crash", "crash-stop a process: TIME:NODE (repeatable)")
+	flag.Parse()
+
+	var tree *btree.Tree
+	if *treePath != "" {
+		var err error
+		tree, err = btree.Load(*treePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		r := rand.New(rand.NewSource(*seed))
+		tree = btree.Random(r, btree.RandomConfig{
+			Size:         *size,
+			Cost:         btree.CostModel{Mean: *mean, Sigma: 0.5},
+			BoundSpread:  1,
+			FeasibleProb: 0.1,
+		})
+	}
+	st := tree.Stats()
+	fmt.Printf("tree: %d nodes, %.1f s uniprocessor, optimum %.6g\n",
+		st.Size, st.TotalCost, st.Optimum)
+
+	var lg *trace.Log
+	if *gantt {
+		lg = &trace.Log{}
+	}
+	res := dbnb.Run(tree, dbnb.Config{
+		Procs:         *procs,
+		Seed:          *seed,
+		Prune:         *prune,
+		Loss:          *loss,
+		CostFactor:    *factor,
+		RecoveryQuiet: *quiet,
+		UseMembership: *member,
+		Crashes:       crashes,
+		Trace:         lg,
+	})
+
+	fmt.Printf("terminated=%v  time=%.2fs  optimum=%.6g (correct=%v)\n",
+		res.Terminated, res.Time, res.Optimum, res.OptimumOK)
+	fmt.Printf("expanded=%d  unique=%d  redundant=%d\n", res.Expanded, res.Unique, res.Redundant)
+	agg := res.Met.AggregateBreakdown()
+	parts := make([]string, 0, 5)
+	for _, a := range []metrics.Activity{metrics.BB, metrics.Comm, metrics.Contract, metrics.LB, metrics.Idle} {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", a, agg.Percent(a)))
+	}
+	fmt.Println("time split:", strings.Join(parts, ", "))
+	fmt.Printf("network: %d msgs, %.3f MB, %d lost, %d cut, %d to dead\n",
+		res.Net.Sent, metrics.MB(res.Net.Bytes), res.Net.Lost, res.Net.Cut, res.Net.ToDead)
+	fmt.Printf("storage: %.3f MB total, %.3f MB redundant\n",
+		metrics.MB(int64(res.Met.TotalStorage())), metrics.MB(int64(res.Met.RedundantStorage())))
+	if *gantt {
+		fmt.Println()
+		lg.Gantt(os.Stdout, 100)
+	}
+	if !res.Terminated {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestCrashListParsing(t *testing.T) {
+	var c crashList
+	if err := c.Set("12.5:3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("40:0"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 || c[0].Time != 12.5 || c[0].Node != 3 || c[1].Node != 0 {
+		t.Errorf("parsed = %+v", c)
+	}
+	if c.String() == "" {
+		t.Error("empty String")
+	}
+	for _, bad := range []string{"", "12", "a:b", "3;4"} {
+		if err := c.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command treegen generates, inspects, and replays basic trees (§6.2).
+//
+// Usage:
+//
+//	treegen -gen random -size 10000 -mean 0.05 -o tree.gbbt
+//	treegen -gen knapsack -items 24 -mean 0.01 -max 50000 -o tree.gbbt
+//	treegen -info tree.gbbt
+//	treegen -replay tree.gbbt        # sequential best-first replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"gossipbnb/internal/bnb"
+	"gossipbnb/internal/btree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("treegen: ")
+	var (
+		gen    = flag.String("gen", "", `generator: "random" or "knapsack"`)
+		size   = flag.Int("size", 10001, "target node count (random)")
+		items  = flag.Int("items", 20, "knapsack items")
+		max    = flag.Int("max", 0, "node cap for knapsack recording (0 = unlimited)")
+		mean   = flag.Float64("mean", 0.05, "mean node cost, seconds")
+		sigma  = flag.Float64("sigma", 0.5, "lognormal cost shape (0 = constant)")
+		spread = flag.Float64("spread", 1, "mean bound increment parent->child (random)")
+		feas   = flag.Float64("feasible", 0.1, "leaf feasibility probability (random)")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		out    = flag.String("o", "", "output file for -gen")
+		info   = flag.String("info", "", "print statistics of a tree file")
+		replay = flag.String("replay", "", "sequentially replay a tree file")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		r := rand.New(rand.NewSource(*seed))
+		cm := btree.CostModel{Mean: *mean, Sigma: *sigma}
+		var t *btree.Tree
+		switch *gen {
+		case "random":
+			t = btree.Random(r, btree.RandomConfig{
+				Size: *size, Cost: cm, BoundSpread: *spread, FeasibleProb: *feas,
+			})
+		case "knapsack":
+			k := bnb.RandomKnapsack(r, *items)
+			t = btree.FromKnapsack(k, r, cm, *max)
+		default:
+			log.Fatalf("unknown generator %q", *gen)
+		}
+		if err := t.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		if *out == "" {
+			log.Fatal("-gen requires -o FILE")
+		}
+		if err := t.Save(*out); err != nil {
+			log.Fatal(err)
+		}
+		printStats(*out, t)
+
+	case *info != "":
+		t, err := btree.Load(*info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(*info, t)
+
+	case *replay != "":
+		t, err := btree.Load(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := btree.Sequential(t)
+		fmt.Printf("%s: expanded %d of %d nodes, optimum %.6g, %.2f s of work\n",
+			*replay, res.Expanded, t.Size(), res.Optimum, res.Work)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(name string, t *btree.Tree) {
+	s := t.Stats()
+	fmt.Printf("%s: %d nodes (%d leaves, %d feasible), depth %d\n",
+		name, s.Size, s.Leaves, s.Feasible, s.Depth)
+	fmt.Printf("  total cost %.2f s (mean %.4f s/node), optimum %.6g\n",
+		s.TotalCost, s.MeanCost, s.Optimum)
+}

@@ -1,0 +1,249 @@
+// Package gossipbnb is a reproduction of "A Problem-Specific Fault-Tolerance
+// Mechanism for Asynchronous, Distributed Systems" (Iamnitchi & Foster,
+// ICPP 2000): a fully decentralized, asynchronous, fault-tolerant parallel
+// branch-and-bound algorithm for opportunistic pools of unreliable machines,
+// together with the substrates its evaluation depends on.
+//
+// The package re-exports the stable public surface:
+//
+//   - subproblem codes and the contracted completed-problem table — the
+//     paper's fault-tolerance and termination-detection mechanism;
+//   - a sequential branch-and-bound engine with pluggable selection rules
+//     and a knapsack workload;
+//   - "basic trees": recorded search trees that drive the simulator;
+//   - the deterministic discrete-event simulation of the full distributed
+//     algorithm, with crash, loss and partition injection;
+//   - the DIB and centralized manager-worker baselines;
+//   - a live goroutine/channel runtime of the same protocol.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. Regenerate every table and figure with
+//
+//	go run ./cmd/figures -all
+package gossipbnb
+
+import (
+	"math/rand"
+
+	"gossipbnb/internal/bnb"
+	"gossipbnb/internal/btree"
+	"gossipbnb/internal/central"
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/ctree"
+	"gossipbnb/internal/dbnb"
+	"gossipbnb/internal/dib"
+	"gossipbnb/internal/live"
+	"gossipbnb/internal/sim"
+	"gossipbnb/internal/trace"
+)
+
+// --- subproblem codes (§5.3.1) ----------------------------------------------
+
+// Code identifies a node of the B&B tree by the branching decisions on its
+// root path. Codes are self-contained: together with the initial problem
+// data they reconstruct the subproblem on any processor.
+type Code = code.Code
+
+// Decision is one ⟨variable, branch⟩ pair of a Code.
+type Decision = code.Decision
+
+// RootCode returns the code of the original problem.
+func RootCode() Code { return code.Root() }
+
+// ParseCode parses the paper's notation, e.g. "(<x1,0>,<x2,1>)".
+func ParseCode(s string) (Code, error) { return code.Parse(s) }
+
+// DecodeCode reads one binary-encoded code from the front of buf.
+func DecodeCode(buf []byte) (Code, int, error) { return code.Decode(buf) }
+
+// --- completed-problem tables (§5.3.2, §5.4) -----------------------------------
+
+// Table is a contracted set of completed-problem codes supporting the
+// paper's three operations: contraction, complement, and termination
+// detection.
+type Table = ctree.Table
+
+// TableSet abstracts Table and ListTable for the representation ablation.
+type TableSet = ctree.Set
+
+// ListTable is the flat-list table representation (ablation baseline).
+type ListTable = ctree.ListTable
+
+// NewTable returns an empty completion table.
+func NewTable() *Table { return ctree.New() }
+
+// NewListTable returns an empty flat-list completion table.
+func NewListTable() *ListTable { return ctree.NewList() }
+
+// DecodeTable reconstructs a table from Table.Encode output.
+func DecodeTable(buf []byte) (*Table, error) { return ctree.Decode(buf) }
+
+// --- sequential engine (§2) ------------------------------------------------------
+
+// Subproblem is a node of a binary branch-and-bound search (minimization).
+type Subproblem = bnb.Subproblem
+
+// SolveOptions configures Solve.
+type SolveOptions = bnb.Options
+
+// SolveResult reports a sequential solve.
+type SolveResult = bnb.Result
+
+// SolvePool is the pool of active problems (the selection rule).
+type SolvePool = bnb.Pool
+
+// Solve runs sequential branch and bound from root.
+func Solve(root Subproblem, opts SolveOptions) SolveResult { return bnb.Solve(root, opts) }
+
+// NewBestFirst returns a best-first (smallest bound) selection pool.
+func NewBestFirst() SolvePool { return bnb.NewBestFirst() }
+
+// NewDepthFirst returns a depth-first (LIFO) selection pool.
+func NewDepthFirst() SolvePool { return bnb.NewDepthFirst() }
+
+// NewBreadthFirst returns a breadth-first (FIFO) selection pool.
+func NewBreadthFirst() SolvePool { return bnb.NewBreadthFirst() }
+
+// Knapsack is a 0/1 knapsack instance, the realistic workload generator.
+type Knapsack = bnb.Knapsack
+
+// NewKnapsack builds a knapsack instance.
+func NewKnapsack(values, weights []float64, capacity float64) (*Knapsack, error) {
+	return bnb.NewKnapsack(values, weights, capacity)
+}
+
+// RandomKnapsack generates a weakly correlated random instance.
+func RandomKnapsack(r *rand.Rand, n int) *Knapsack { return bnb.RandomKnapsack(r, n) }
+
+// QAP is a quadratic assignment instance with binarized branching — the
+// problem class the paper's introduction motivates.
+type QAP = bnb.QAP
+
+// NewQAP builds a quadratic assignment instance from flow and distance
+// matrices.
+func NewQAP(flow, dist [][]float64) (*QAP, error) { return bnb.NewQAP(flow, dist) }
+
+// RandomQAP generates a symmetric random instance of order n.
+func RandomQAP(r *rand.Rand, n int) *QAP { return bnb.RandomQAP(r, n) }
+
+// --- basic trees (§6.2) -------------------------------------------------------------
+
+// Tree is a recorded ("basic") search tree: bounds, per-node costs,
+// feasibility, and the decompose structure.
+type Tree = btree.Tree
+
+// TreeNode is one recorded subproblem.
+type TreeNode = btree.Node
+
+// TreeStats summarizes a tree.
+type TreeStats = btree.Stats
+
+// CostModel draws per-node costs for tree generators.
+type CostModel = btree.CostModel
+
+// RandomTreeConfig parameterizes RandomTree.
+type RandomTreeConfig = btree.RandomConfig
+
+// RandomTree generates a random basic tree.
+func RandomTree(r *rand.Rand, cfg RandomTreeConfig) *Tree { return btree.Random(r, cfg) }
+
+// KnapsackTree records the basic tree of a knapsack instance (§6.2's
+// "instrumented B&B code"). maxNodes caps recording (0 = unlimited).
+func KnapsackTree(k *Knapsack, r *rand.Rand, cm CostModel, maxNodes int) *Tree {
+	return btree.FromKnapsack(k, r, cm, maxNodes)
+}
+
+// LoadTree reads a tree saved by Tree.Save.
+func LoadTree(path string) (*Tree, error) { return btree.Load(path) }
+
+// SequentialReplay replays best-first B&B over a basic tree on one
+// processor: the baseline for speedup measurements.
+func SequentialReplay(t *Tree) btree.SequentialResult { return btree.Sequential(t) }
+
+// --- the distributed algorithm (§5) ---------------------------------------------------
+
+// SimConfig parameterizes a simulated run of the paper's algorithm.
+type SimConfig = dbnb.Config
+
+// SimResult reports a simulated run.
+type SimResult = dbnb.Result
+
+// Crash schedules a crash-stop failure.
+type Crash = dbnb.Crash
+
+// SelectRule picks the local selection discipline of SimConfig.Select.
+type SelectRule = dbnb.SelectRule
+
+// Selection rules for SimConfig.Select.
+const (
+	SelectBestFirst  = dbnb.BestFirst
+	SelectDepthFirst = dbnb.DepthFirst
+)
+
+// Partition schedules a temporary network partition.
+type Partition = dbnb.Partition
+
+// TraceLog records per-process activity spans (ASCII Gantt of Figures 5/6).
+type TraceLog = trace.Log
+
+// Run simulates the decentralized fault-tolerant algorithm solving tree.
+// Runs are deterministic in (tree, cfg).
+func Run(tree *Tree, cfg SimConfig) SimResult { return dbnb.Run(tree, cfg) }
+
+// PaperLatency is the paper's communication model: 1.5 + 0.005·L ms.
+func PaperLatency() sim.LatencyModel { return sim.PaperLatency() }
+
+// LinearLatency builds a base + perByte·L seconds latency model.
+func LinearLatency(base, perByte float64) sim.LatencyModel {
+	return sim.LinearLatency(base, perByte)
+}
+
+// --- baselines (§3, §5.5) ----------------------------------------------------------------
+
+// DIBConfig parameterizes the DIB baseline.
+type DIBConfig = dib.Config
+
+// DIBResult reports a DIB run.
+type DIBResult = dib.Result
+
+// RunDIB simulates Finkel & Manber's DIB on the same tree and failure model.
+func RunDIB(tree *Tree, cfg DIBConfig) DIBResult { return dib.Run(tree, cfg) }
+
+// CentralConfig parameterizes the centralized manager-worker baseline.
+type CentralConfig = central.Config
+
+// CentralResult reports a centralized run.
+type CentralResult = central.Result
+
+// RunCentral simulates the centralized manager-worker baseline.
+func RunCentral(tree *Tree, cfg CentralConfig) CentralResult { return central.Run(tree, cfg) }
+
+// --- live runtime -----------------------------------------------------------------------
+
+// LiveConfig parameterizes a wall-clock goroutine/channel cluster.
+type LiveConfig = live.Config
+
+// LiveResult reports a live run.
+type LiveResult = live.Result
+
+// LiveCluster is a set of goroutine-backed processes running the protocol
+// in real time over an in-memory lossy transport.
+type LiveCluster = live.Cluster
+
+// LiveNodeID identifies a process of a LiveCluster.
+type LiveNodeID = live.NodeID
+
+// LiveNet is the transport interface a LiveCluster runs over.
+type LiveNet = live.Net
+
+// LiveTransport is the in-memory lossy transport.
+type LiveTransport = live.Transport
+
+// TCPNetwork runs the live protocol over real TCP sockets on loopback.
+type TCPNetwork = live.TCPNetwork
+
+// NewTCPNetwork creates listeners for n live nodes on 127.0.0.1.
+func NewTCPNetwork(n int) (*TCPNetwork, error) { return live.NewTCPNetwork(n) }
+
+// NewLiveCluster builds a live cluster solving tree.
+func NewLiveCluster(tree *Tree, cfg LiveConfig) *LiveCluster { return live.NewCluster(tree, cfg) }

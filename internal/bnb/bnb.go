@@ -1,0 +1,144 @@
+// Package bnb implements the sequential branch-and-bound engine of §2 of the
+// paper: the four basic operators (decompose, bound, select, eliminate)
+// applied over a pool of active problems, with pluggable selection rules.
+//
+// The engine minimizes. A subproblem is *fathomed* when it is infeasible,
+// yields a feasible solution, or is eliminated by the incumbent; otherwise it
+// is *branched* into exactly two children, each labelled by a decision on a
+// condition variable — which is what makes the tree encodable by
+// internal/code.
+package bnb
+
+import (
+	"math"
+
+	"gossipbnb/internal/code"
+)
+
+// Subproblem is one node of the search tree. Implementations must be
+// deterministic: branching the same subproblem twice must yield the same
+// condition variable and children (the paper's encoding relies on it).
+type Subproblem interface {
+	// Bound returns a lower bound on the objective of any solution in this
+	// subtree. Infeasible subproblems return +Inf.
+	Bound() float64
+	// Feasible returns the objective value of this node if the node itself
+	// is a feasible solution, and whether it is one.
+	Feasible() (float64, bool)
+	// Branch decomposes the subproblem on a condition variable, returning
+	// the variable and the two children (branch 0 and branch 1). ok reports
+	// whether decomposition was possible; a false return fathoms the node.
+	Branch() (v uint32, zero, one Subproblem, ok bool)
+}
+
+// Item is a pool entry: a subproblem together with its code and cached bound.
+type Item struct {
+	Code  code.Code
+	Sub   Subproblem
+	Bound float64
+}
+
+// Pool is the pool of active problems. Implementations define the paper's
+// selection rule.
+type Pool interface {
+	Push(Item)
+	Pop() Item // undefined when empty
+	Len() int
+}
+
+// Options configure a Solve run.
+type Options struct {
+	Pool      Pool    // selection rule; nil means best-first
+	Incumbent float64 // initial best-known value; 0 means +Inf
+	MaxNodes  int     // stop after expanding this many nodes; 0 means no limit
+	// DisablePruning expands every node regardless of the incumbent. It is
+	// used to build the paper's "basic trees" (§6.2): the full decomposition
+	// tree from which pruned B&B trees are later derived.
+	DisablePruning bool
+	// OnExpand, if non-nil, is called for every node the engine visits,
+	// before it is fathomed or branched. Used by internal/btree to record
+	// basic trees.
+	OnExpand func(Visit)
+}
+
+// Visit describes one node visit reported to Options.OnExpand.
+type Visit struct {
+	Code      code.Code
+	Bound     float64
+	Value     float64 // feasible objective, NaN if not feasible
+	Feasible  bool
+	Branched  bool   // node was decomposed
+	BranchVar uint32 // valid when Branched
+}
+
+// Result summarizes a Solve run.
+type Result struct {
+	Value     float64   // objective of the best solution found (+Inf if none)
+	Solution  code.Code // code of the node providing the incumbent
+	Expanded  int       // nodes visited
+	Branched  int       // nodes decomposed
+	Fathomed  int       // leaves (feasible, infeasible, or eliminated)
+	Truncated bool      // MaxNodes hit before exhaustion
+}
+
+// Solve runs branch and bound from root and returns the best solution found.
+func Solve(root Subproblem, opts Options) Result {
+	pool := opts.Pool
+	if pool == nil {
+		pool = NewBestFirst()
+	}
+	incumbent := math.Inf(1)
+	if opts.Incumbent != 0 {
+		incumbent = opts.Incumbent
+	}
+	res := Result{Value: incumbent}
+	pool.Push(Item{Code: code.Root(), Sub: root, Bound: root.Bound()})
+	for pool.Len() > 0 {
+		if opts.MaxNodes > 0 && res.Expanded >= opts.MaxNodes {
+			res.Truncated = true
+			break
+		}
+		it := pool.Pop()
+		// Eliminate: l(v) ≥ U cannot improve on the incumbent.
+		if !opts.DisablePruning && it.Bound >= res.Value {
+			res.Fathomed++
+			continue
+		}
+		res.Expanded++
+		visit := Visit{Code: it.Code, Bound: it.Bound, Value: math.NaN()}
+		if val, ok := it.Sub.Feasible(); ok {
+			visit.Feasible, visit.Value = true, val
+			if val < res.Value {
+				res.Value = val
+				res.Solution = it.Code
+			}
+			res.Fathomed++
+			emit(opts, visit)
+			continue
+		}
+		v, zero, one, ok := it.Sub.Branch()
+		if !ok {
+			res.Fathomed++
+			emit(opts, visit)
+			continue
+		}
+		visit.Branched, visit.BranchVar = true, v
+		emit(opts, visit)
+		res.Branched++
+		for b, child := range []Subproblem{zero, one} {
+			bound := child.Bound()
+			if opts.DisablePruning || bound < res.Value {
+				pool.Push(Item{Code: it.Code.Child(v, uint8(b)), Sub: child, Bound: bound})
+			} else {
+				res.Fathomed++
+			}
+		}
+	}
+	return res
+}
+
+func emit(opts Options, v Visit) {
+	if opts.OnExpand != nil {
+		opts.OnExpand(v)
+	}
+}

@@ -1,0 +1,240 @@
+package bnb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteKnapsack solves an instance exactly by enumeration (n ≤ ~20).
+func bruteKnapsack(k *Knapsack) float64 {
+	n := len(k.Values)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		w, v := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				w += k.Weights[i]
+				v += k.Values[i]
+			}
+		}
+		if w <= k.Capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestKnapsackTiny(t *testing.T) {
+	k, err := NewKnapsack([]float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(k.Root(), Options{})
+	if got := k.Best(res); got != 220 {
+		t.Errorf("Best = %g, want 220", got)
+	}
+	if res.Truncated {
+		t.Error("tiny instance truncated")
+	}
+}
+
+func TestKnapsackValidation(t *testing.T) {
+	if _, err := NewKnapsack([]float64{1}, []float64{1, 2}, 10); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewKnapsack([]float64{1}, []float64{0}, 10); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewKnapsack([]float64{-1}, []float64{1}, 10); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestAllRulesAgreeWithBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		k := RandomKnapsack(r, 12)
+		want := bruteKnapsack(k)
+		for name, pool := range map[string]Pool{
+			"best-first":    NewBestFirst(),
+			"depth-first":   NewDepthFirst(),
+			"breadth-first": NewBreadthFirst(),
+		} {
+			res := Solve(k.Root(), Options{Pool: pool})
+			if got := k.Best(res); math.Abs(got-want) > 1e-9 {
+				t.Errorf("trial %d, %s: Best = %g, want %g", trial, name, got, want)
+			}
+		}
+	}
+}
+
+func TestBestFirstExpandsNoMoreThanDepthFirst(t *testing.T) {
+	// Best-first with an exact LP bound should never expand more nodes than
+	// depth-first on the same instance (it is optimally efficient for
+	// consistent bounds, modulo ties).
+	r := rand.New(rand.NewSource(3))
+	worse := 0
+	for trial := 0; trial < 15; trial++ {
+		k := RandomKnapsack(r, 14)
+		bf := Solve(k.Root(), Options{Pool: NewBestFirst()})
+		df := Solve(k.Root(), Options{Pool: NewDepthFirst()})
+		if bf.Expanded > df.Expanded {
+			worse++
+		}
+	}
+	if worse > 3 { // ties in bounds can flip a few instances either way
+		t.Errorf("best-first expanded more than depth-first on %d/15 instances", worse)
+	}
+}
+
+func TestMaxNodesTruncates(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	k := RandomKnapsack(r, 30)
+	res := Solve(k.Root(), Options{MaxNodes: 100})
+	if !res.Truncated {
+		t.Error("MaxNodes did not truncate")
+	}
+	if res.Expanded > 100 {
+		t.Errorf("Expanded = %d > MaxNodes", res.Expanded)
+	}
+}
+
+func TestDisablePruningVisitsFullTree(t *testing.T) {
+	k, _ := NewKnapsack([]float64{1, 2, 3}, []float64{1, 1, 1}, 3)
+	pruned := Solve(k.Root(), Options{})
+	full := Solve(k.Root(), Options{DisablePruning: true})
+	// Full decomposition of 3 binary items: 2^4 - 1 = 15 nodes.
+	if full.Expanded != 15 {
+		t.Errorf("full tree Expanded = %d, want 15", full.Expanded)
+	}
+	if pruned.Expanded > full.Expanded {
+		t.Errorf("pruned Expanded = %d > full %d", pruned.Expanded, full.Expanded)
+	}
+	if k.Best(full) != 6 {
+		t.Errorf("full-tree Best = %g, want 6", k.Best(full))
+	}
+}
+
+func TestOnExpandSeesEveryVisit(t *testing.T) {
+	k, _ := NewKnapsack([]float64{5, 4}, []float64{2, 3}, 5)
+	var visits []Visit
+	res := Solve(k.Root(), Options{
+		DisablePruning: true,
+		OnExpand:       func(v Visit) { visits = append(visits, v) },
+	})
+	if len(visits) != res.Expanded {
+		t.Fatalf("OnExpand called %d times, Expanded = %d", len(visits), res.Expanded)
+	}
+	if !visits[0].Code.IsRoot() {
+		t.Error("first visit is not the root")
+	}
+	branched := 0
+	for _, v := range visits {
+		if v.Branched {
+			branched++
+			if v.BranchVar == 0 {
+				t.Error("branched visit without BranchVar")
+			}
+		}
+	}
+	if branched != res.Branched {
+		t.Errorf("branched visits = %d, Result.Branched = %d", branched, res.Branched)
+	}
+}
+
+func TestIncumbentSeedPrunes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	k := RandomKnapsack(r, 16)
+	cold := Solve(k.Root(), Options{})
+	// Seed with the known optimum: should expand no more nodes than cold.
+	warm := Solve(k.Root(), Options{Incumbent: cold.Value})
+	if warm.Expanded > cold.Expanded {
+		t.Errorf("warm start expanded %d > cold %d", warm.Expanded, cold.Expanded)
+	}
+	if warm.Value > cold.Value {
+		t.Errorf("warm Value = %g worse than cold %g", warm.Value, cold.Value)
+	}
+}
+
+func TestPropPoolsPreserveItems(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		for _, pool := range []Pool{NewBestFirst(), NewDepthFirst(), NewBreadthFirst()} {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				b := r.Float64()
+				sum += b
+				pool.Push(Item{Bound: b})
+			}
+			if pool.Len() != n {
+				return false
+			}
+			got := 0.0
+			for pool.Len() > 0 {
+				got += pool.Pop().Bound
+			}
+			if math.Abs(got-sum) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestFirstOrdering(t *testing.T) {
+	p := NewBestFirst()
+	for _, b := range []float64{5, 1, 3, 2, 4} {
+		p.Push(Item{Bound: b})
+	}
+	prev := math.Inf(-1)
+	for p.Len() > 0 {
+		b := p.Pop().Bound
+		if b < prev {
+			t.Fatalf("heap order violated: %g after %g", b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBreadthFirstFIFO(t *testing.T) {
+	p := NewBreadthFirst()
+	for i := 0; i < 100; i++ {
+		p.Push(Item{Bound: float64(i)})
+	}
+	for i := 0; i < 100; i++ {
+		if got := p.Pop().Bound; got != float64(i) {
+			t.Fatalf("Pop %d = %g", i, got)
+		}
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d after drain", p.Len())
+	}
+}
+
+func TestDepthFirstLIFO(t *testing.T) {
+	p := NewDepthFirst()
+	for i := 0; i < 10; i++ {
+		p.Push(Item{Bound: float64(i)})
+	}
+	for i := 9; i >= 0; i-- {
+		if got := p.Pop().Bound; got != float64(i) {
+			t.Fatalf("Pop = %g, want %d", got, i)
+		}
+	}
+}
+
+func BenchmarkSolveKnapsack24(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	k := RandomKnapsack(r, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(k.Root(), Options{})
+	}
+}

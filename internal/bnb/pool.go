@@ -1,0 +1,85 @@
+package bnb
+
+import "container/heap"
+
+// BestFirst selects the active problem with the smallest bound (the
+// best-first rule of §2). It is a binary heap on Item.Bound.
+type BestFirst struct{ h itemHeap }
+
+// NewBestFirst returns an empty best-first pool.
+func NewBestFirst() *BestFirst { return &BestFirst{} }
+
+// Push adds an item to the pool.
+func (p *BestFirst) Push(it Item) { heap.Push(&p.h, it) }
+
+// Pop removes and returns the item with the smallest bound.
+func (p *BestFirst) Pop() Item { return heap.Pop(&p.h).(Item) }
+
+// Len returns the number of active problems.
+func (p *BestFirst) Len() int { return len(p.h) }
+
+type itemHeap []Item
+
+func (h itemHeap) Len() int            { return len(h) }
+func (h itemHeap) Less(i, j int) bool  { return h[i].Bound < h[j].Bound }
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = Item{}
+	*h = old[:n-1]
+	return it
+}
+
+// DepthFirst selects the most recently generated problem (LIFO), the
+// depth-first rule. It keeps memory small at the price of weaker incumbents
+// early on.
+type DepthFirst struct{ s []Item }
+
+// NewDepthFirst returns an empty depth-first pool.
+func NewDepthFirst() *DepthFirst { return &DepthFirst{} }
+
+// Push adds an item to the pool.
+func (p *DepthFirst) Push(it Item) { p.s = append(p.s, it) }
+
+// Pop removes and returns the most recently pushed item.
+func (p *DepthFirst) Pop() Item {
+	n := len(p.s)
+	it := p.s[n-1]
+	p.s[n-1] = Item{}
+	p.s = p.s[:n-1]
+	return it
+}
+
+// Len returns the number of active problems.
+func (p *DepthFirst) Len() int { return len(p.s) }
+
+// BreadthFirst selects the oldest generated problem (FIFO), the breadth-first
+// rule.
+type BreadthFirst struct {
+	q    []Item
+	head int
+}
+
+// NewBreadthFirst returns an empty breadth-first pool.
+func NewBreadthFirst() *BreadthFirst { return &BreadthFirst{} }
+
+// Push adds an item to the pool.
+func (p *BreadthFirst) Push(it Item) { p.q = append(p.q, it) }
+
+// Pop removes and returns the oldest pushed item.
+func (p *BreadthFirst) Pop() Item {
+	it := p.q[p.head]
+	p.q[p.head] = Item{}
+	p.head++
+	if p.head > len(p.q)/2 && p.head > 32 { // reclaim drained prefix
+		p.q = append(p.q[:0], p.q[p.head:]...)
+		p.head = 0
+	}
+	return it
+}
+
+// Len returns the number of active problems.
+func (p *BreadthFirst) Len() int { return len(p.q) - p.head }

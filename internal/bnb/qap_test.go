@@ -1,0 +1,155 @@
+package bnb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteQAP enumerates all permutations (n ≤ 7).
+func bruteQAP(q *QAP) float64 {
+	n := q.Order()
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			c := 0.0
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					c += q.Flow[a][b] * q.Dist[perm[a]][perm[b]]
+				}
+			}
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for l := 0; l < n; l++ {
+			if !used[l] {
+				used[l] = true
+				perm[i] = l
+				rec(i + 1)
+				used[l] = false
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestQAPValidation(t *testing.T) {
+	if _, err := NewQAP(nil, nil); err == nil {
+		t.Error("empty instance accepted")
+	}
+	if _, err := NewQAP([][]float64{{0, 1}, {1, 0}}, [][]float64{{0}}); err == nil {
+		t.Error("mismatched orders accepted")
+	}
+	if _, err := NewQAP([][]float64{{0, 1}}, [][]float64{{0, 1}}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, err := NewQAP([][]float64{{0, -1}, {1, 0}}, [][]float64{{0, 1}, {1, 0}}); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestQAPTinyExact(t *testing.T) {
+	// 3 facilities: flow 0-1 heavy, distance 0-1 short; the optimum pairs
+	// the heavy flow with the short edge.
+	q, err := NewQAP(
+		[][]float64{{0, 9, 1}, {9, 0, 1}, {1, 1, 0}},
+		[][]float64{{0, 1, 5}, {1, 0, 5}, {5, 5, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(q.Root(), Options{})
+	want := bruteQAP(q)
+	if res.Value != want {
+		t.Errorf("Value = %g, want %g", res.Value, want)
+	}
+	// Heavy pair on short edge: cost 2·9·1 + 2·1·5 + 2·1·5 = 38.
+	if want != 38 {
+		t.Errorf("brute force = %g, hand calculation says 38", want)
+	}
+}
+
+func TestQAPAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		q := RandomQAP(r, 5)
+		res := Solve(q.Root(), Options{})
+		if want := bruteQAP(q); math.Abs(res.Value-want) > 1e-9 {
+			t.Errorf("trial %d: Value = %g, want %g", trial, res.Value, want)
+		}
+	}
+}
+
+func TestQAPAllRulesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	q := RandomQAP(r, 6)
+	want := bruteQAP(q)
+	for name, pool := range map[string]Pool{
+		"best-first":    NewBestFirst(),
+		"depth-first":   NewDepthFirst(),
+		"breadth-first": NewBreadthFirst(),
+	} {
+		res := Solve(q.Root(), Options{Pool: pool})
+		if math.Abs(res.Value-want) > 1e-9 {
+			t.Errorf("%s: Value = %g, want %g", name, res.Value, want)
+		}
+	}
+}
+
+func TestQAPBoundAdmissible(t *testing.T) {
+	// Property: the root bound never exceeds the optimum.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := RandomQAP(r, 5)
+		return q.Root().Bound() <= bruteQAP(q)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQAPDeterministicBranching(t *testing.T) {
+	// The encoding requires deterministic decomposition: branching the same
+	// state twice must give the same variable and equivalent children.
+	r := rand.New(rand.NewSource(6))
+	q := RandomQAP(r, 6)
+	s := q.Root()
+	v1, a1, b1, ok1 := s.Branch()
+	v2, a2, b2, ok2 := s.Branch()
+	if !ok1 || !ok2 || v1 != v2 {
+		t.Fatalf("nondeterministic branch: %d vs %d", v1, v2)
+	}
+	if a1.Bound() != a2.Bound() || b1.Bound() != b2.Bound() {
+		t.Error("children bounds differ between identical branches")
+	}
+}
+
+func TestQAPPrunesAgainstFullTree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	q := RandomQAP(r, 6)
+	pruned := Solve(q.Root(), Options{})
+	full := Solve(q.Root(), Options{DisablePruning: true, MaxNodes: 2_000_000})
+	if pruned.Expanded >= full.Expanded {
+		t.Errorf("pruning did not help: %d >= %d", pruned.Expanded, full.Expanded)
+	}
+	if !full.Truncated && math.Abs(pruned.Value-full.Value) > 1e-9 {
+		t.Errorf("pruned %g != full %g", pruned.Value, full.Value)
+	}
+}
+
+func BenchmarkSolveQAP7(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	q := RandomQAP(r, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(q.Root(), Options{})
+	}
+}

@@ -1,0 +1,264 @@
+// Package btree implements the paper's "basic trees" (§6.2): search trees
+// recorded by executing branch and bound *without* eliminating unpromising
+// nodes. Each node carries (1) an identifier — its index —, (2) its bound
+// value, (3) the time needed to bound and expand it, and (4) whether the
+// bound value is a feasible solution. The simulator replays B&B over a basic
+// tree: bound values drive pruning and incumbent updates, time values drive
+// the virtual clock, and the decompose operator is the recorded tree
+// structure itself.
+package btree
+
+import (
+	"fmt"
+	"math"
+
+	"gossipbnb/internal/code"
+)
+
+// NoChild marks an absent child in Node.Children.
+const NoChild = int32(-1)
+
+// Node is one recorded subproblem.
+type Node struct {
+	Bound     float64  // lower bound on the subtree's objective (minimization)
+	Cost      float64  // seconds to compute the bound and expand the node
+	Feasible  bool     // the bound value is itself a feasible solution
+	BranchVar uint32   // condition variable branched on; meaningful when not a leaf
+	Children  [2]int32 // indices of branch-0 and branch-1 children; NoChild if leaf
+}
+
+// Leaf reports whether the node was not decomposed.
+func (n *Node) Leaf() bool { return n.Children[0] == NoChild && n.Children[1] == NoChild }
+
+// Tree is a basic tree. Node 0 is the root. Trees are immutable after
+// construction and safe for concurrent readers.
+type Tree struct {
+	Nodes []Node
+}
+
+// Size returns the number of recorded nodes.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Locate resolves a subproblem code to a node index by replaying its
+// decisions from the root. It reports false if the code walks off the
+// recorded tree or disagrees with a recorded branch variable — which, for
+// codes produced by honest processes, cannot happen.
+func (t *Tree) Locate(c code.Code) (int32, bool) {
+	if len(t.Nodes) == 0 {
+		return NoChild, false
+	}
+	idx := int32(0)
+	for _, d := range c {
+		n := &t.Nodes[idx]
+		if n.Leaf() || n.BranchVar != d.Var {
+			return NoChild, false
+		}
+		idx = n.Children[d.Branch&1]
+		if idx == NoChild {
+			return NoChild, false
+		}
+	}
+	return idx, true
+}
+
+// CodeOf returns the code of node idx by searching from the root. It is
+// O(size) and intended for tests and tooling, not the hot path.
+func (t *Tree) CodeOf(idx int32) (code.Code, bool) {
+	var found code.Code
+	var walk func(i int32, prefix code.Code) bool
+	walk = func(i int32, prefix code.Code) bool {
+		if i == idx {
+			found = prefix
+			return true
+		}
+		n := &t.Nodes[i]
+		for b := uint8(0); b < 2; b++ {
+			if n.Children[b] != NoChild && walk(n.Children[b], prefix.Child(n.BranchVar, b)) {
+				return true
+			}
+		}
+		return false
+	}
+	if len(t.Nodes) == 0 || !walk(0, code.Root()) {
+		return nil, false
+	}
+	return found, true
+}
+
+// Stats summarizes a tree.
+type Stats struct {
+	Size      int
+	Leaves    int
+	Feasible  int
+	Depth     int
+	TotalCost float64 // seconds of uniprocessor work if nothing is pruned
+	MeanCost  float64
+	Optimum   float64 // minimum feasible value; +Inf if none
+}
+
+// Stats computes summary statistics in one pass.
+func (t *Tree) Stats() Stats {
+	s := Stats{Optimum: math.Inf(1)}
+	s.Size = len(t.Nodes)
+	type frame struct {
+		idx   int32
+		depth int
+	}
+	if s.Size == 0 {
+		return s
+	}
+	stack := []frame{{0, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.Nodes[f.idx]
+		s.TotalCost += n.Cost
+		if f.depth > s.Depth {
+			s.Depth = f.depth
+		}
+		if n.Feasible {
+			s.Feasible++
+			if n.Bound < s.Optimum {
+				s.Optimum = n.Bound
+			}
+		}
+		if n.Leaf() {
+			s.Leaves++
+			continue
+		}
+		for b := 0; b < 2; b++ {
+			if n.Children[b] != NoChild {
+				stack = append(stack, frame{n.Children[b], f.depth + 1})
+			}
+		}
+	}
+	s.MeanCost = s.TotalCost / float64(s.Size)
+	return s
+}
+
+// Validate checks structural invariants: child indices in range, each node
+// referenced at most once, bounds non-decreasing from parent to child (a
+// valid relaxation never loosens), and strictly positive costs.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("btree: empty tree")
+	}
+	seen := make([]bool, len(t.Nodes))
+	seen[0] = true
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Cost <= 0 {
+			return fmt.Errorf("btree: node %d has non-positive cost %g", i, n.Cost)
+		}
+		if math.IsNaN(n.Bound) {
+			return fmt.Errorf("btree: node %d has NaN bound", i)
+		}
+		has0, has1 := n.Children[0] != NoChild, n.Children[1] != NoChild
+		if has0 != has1 {
+			return fmt.Errorf("btree: node %d has exactly one child (binary decomposition requires two)", i)
+		}
+		for b := 0; b < 2; b++ {
+			ch := n.Children[b]
+			if ch == NoChild {
+				continue
+			}
+			if ch <= 0 || int(ch) >= len(t.Nodes) {
+				return fmt.Errorf("btree: node %d child %d out of range: %d", i, b, ch)
+			}
+			if seen[ch] {
+				return fmt.Errorf("btree: node %d referenced twice", ch)
+			}
+			seen[ch] = true
+			if t.Nodes[ch].Bound+1e-9 < n.Bound {
+				return fmt.Errorf("btree: node %d bound %g below parent %d bound %g",
+					ch, t.Nodes[ch].Bound, i, n.Bound)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("btree: node %d unreachable", i)
+		}
+	}
+	return nil
+}
+
+// SequentialResult reports a sequential replay of B&B over a basic tree.
+type SequentialResult struct {
+	Expanded int     // nodes whose cost was paid
+	Optimum  float64 // best feasible value found (+Inf if none)
+	Work     float64 // total seconds of node cost paid
+}
+
+// Sequential replays best-first B&B over the tree on one processor: the
+// baseline against which the simulator's distributed executions are compared
+// (uniprocessor execution time, expanded-node counts).
+func Sequential(t *Tree) SequentialResult {
+	type item struct {
+		idx   int32
+		bound float64
+	}
+	res := SequentialResult{Optimum: math.Inf(1)}
+	if len(t.Nodes) == 0 {
+		return res
+	}
+	// Binary heap on bound.
+	h := []item{{0, t.Nodes[0].Bound}}
+	pop := func() item {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && h[l].bound < h[m].bound {
+				m = l
+			}
+			if r < len(h) && h[r].bound < h[m].bound {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+		return top
+	}
+	push := func(it item) {
+		h = append(h, it)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p].bound <= h[i].bound {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	for len(h) > 0 {
+		it := pop()
+		if it.bound >= res.Optimum {
+			continue // eliminated
+		}
+		n := &t.Nodes[it.idx]
+		res.Expanded++
+		res.Work += n.Cost
+		if n.Feasible && n.Bound < res.Optimum {
+			res.Optimum = n.Bound
+		}
+		if n.Leaf() {
+			continue
+		}
+		for b := 0; b < 2; b++ {
+			ch := n.Children[b]
+			if ch != NoChild && t.Nodes[ch].Bound < res.Optimum {
+				push(item{ch, t.Nodes[ch].Bound})
+			}
+		}
+	}
+	return res
+}

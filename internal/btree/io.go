@@ -1,0 +1,134 @@
+package btree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// magic identifies the basic-tree binary format; the trailing digit is the
+// format version.
+var magic = []byte("GBBT1")
+
+// Write serializes the tree to w in a compact binary format.
+func (t *Tree) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(t.Nodes))); err != nil {
+		return err
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(n.Bound)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(n.Cost)); err != nil {
+			return err
+		}
+		flags := byte(0)
+		if n.Feasible {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(n.BranchVar)); err != nil {
+			return err
+		}
+		// Children stored +1 so NoChild (-1) encodes as 0.
+		if err := writeUvarint(uint64(n.Children[0] + 1)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(n.Children[1] + 1)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a tree written by Write and validates it.
+func Read(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("btree: read header: %w", err)
+	}
+	if string(head) != string(magic) {
+		return nil, fmt.Errorf("btree: bad magic %q", head)
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("btree: read size: %w", err)
+	}
+	if size > 1<<28 {
+		return nil, fmt.Errorf("btree: implausible size %d", size)
+	}
+	t := &Tree{Nodes: make([]Node, size)}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("btree: node %d bound: %w", i, err)
+		}
+		n.Bound = math.Float64frombits(bits)
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("btree: node %d cost: %w", i, err)
+		}
+		n.Cost = math.Float64frombits(bits)
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("btree: node %d flags: %w", i, err)
+		}
+		n.Feasible = flags&1 != 0
+		bv, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("btree: node %d branch var: %w", i, err)
+		}
+		n.BranchVar = uint32(bv)
+		for b := 0; b < 2; b++ {
+			c, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("btree: node %d child %d: %w", i, b, err)
+			}
+			n.Children[b] = int32(c) - 1
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Save writes the tree to a file.
+func (t *Tree) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a tree from a file written by Save.
+func Load(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

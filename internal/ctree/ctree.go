@@ -1,0 +1,325 @@
+// Package ctree implements the completed-problem table of the paper's
+// fault-tolerance mechanism (§5.3.2) together with its three derived
+// operations:
+//
+//   - contraction: the recursive replacement of pairs of sibling codes with
+//     the code of their parent, and the deletion of codes whose ancestors are
+//     also present, which keeps tables and work reports small;
+//   - complement: the minimal list of codes covering every tree node *not*
+//     known to be completed, which is how a process picks lost work to redo;
+//   - termination detection (§5.4): successive contractions reaching the code
+//     of the root problem prove that every expanded problem was completed.
+//
+// The table assumes deterministic decomposition: every processor that
+// branches a given subproblem branches it on the same condition variable.
+// This holds for the paper's "basic tree"-driven execution, where the
+// decompose operator is recorded in the tree itself.
+package ctree
+
+import (
+	"fmt"
+
+	"gossipbnb/internal/code"
+)
+
+// node is one vertex of the completion trie. Its position in the trie is the
+// code of the corresponding B&B tree node.
+type node struct {
+	branchVar uint32 // condition variable the children branch on
+	children  [2]*node
+	hasChild  [2]bool
+	complete  bool
+}
+
+// Table is a contracted set of completed-problem codes. The zero value is not
+// usable; call New. Table is not safe for concurrent use: in the simulator
+// each process owns its table, and in the live runtime each node guards its
+// table with the node's own mutex.
+type Table struct {
+	root      *node
+	nodeCount int // trie vertices, for storage accounting
+}
+
+// New returns an empty table: nothing is known to be completed.
+func New() *Table {
+	return &Table{root: &node{}, nodeCount: 1}
+}
+
+// VarMismatchError reports an Insert whose code branches a subproblem on a
+// different condition variable than a previously inserted code — impossible
+// under deterministic decomposition, so it indicates a corrupt or forged
+// report.
+type VarMismatchError struct {
+	Code  code.Code
+	Depth int
+	Want  uint32
+	Got   uint32
+}
+
+func (e *VarMismatchError) Error() string {
+	return fmt.Sprintf("ctree: code %v branches on x%d at depth %d, table has x%d",
+		e.Code, e.Got, e.Depth, e.Want)
+}
+
+// Insert records that the subproblem encoded by c has been completed, then
+// contracts. It returns true if the table changed (false when c was already
+// subsumed by a completed ancestor or an identical entry).
+func (t *Table) Insert(c code.Code) (bool, error) {
+	n := t.root
+	// Walk the path, creating trie vertices as needed.
+	for depth, d := range c {
+		if n.complete {
+			return false, nil // an ancestor is complete: c is subsumed
+		}
+		if !n.hasChild[0] && !n.hasChild[1] {
+			n.branchVar = d.Var
+		} else if n.branchVar != d.Var {
+			return false, &VarMismatchError{Code: c, Depth: depth, Want: n.branchVar, Got: d.Var}
+		}
+		b := d.Branch & 1
+		if !n.hasChild[b] {
+			n.children[b] = &node{}
+			n.hasChild[b] = true
+			t.nodeCount++
+		}
+		n = n.children[b]
+	}
+	if n.complete {
+		return false, nil
+	}
+	n.complete = true
+	t.prune(n)
+	t.contract(c)
+	return true, nil
+}
+
+// prune discards the subtree below a node that just became complete; its
+// descendants carry no extra information.
+func (t *Table) prune(n *node) {
+	for b := 0; b < 2; b++ {
+		if n.hasChild[b] {
+			t.nodeCount -= count(n.children[b])
+			n.children[b] = nil
+			n.hasChild[b] = false
+		}
+	}
+}
+
+func count(n *node) int {
+	c := 1
+	for b := 0; b < 2; b++ {
+		if n.hasChild[b] {
+			c += count(n.children[b])
+		}
+	}
+	return c
+}
+
+// contract walks the path of c bottom-up, replacing complete sibling pairs
+// with their parent.
+func (t *Table) contract(c code.Code) {
+	for depth := len(c); depth > 0; depth-- {
+		// Re-walk from the root to the node at depth-1 (the parent).
+		p := t.root
+		for i := 0; i < depth-1; i++ {
+			p = p.children[c[i].Branch&1]
+			if p == nil {
+				return // path was pruned by a completed ancestor
+			}
+		}
+		if p.complete {
+			return
+		}
+		if !p.hasChild[0] || !p.hasChild[1] ||
+			!p.children[0].complete || !p.children[1].complete {
+			return // cannot contract further
+		}
+		p.complete = true
+		t.prune(p)
+	}
+}
+
+// Complete reports whether the root problem is known completed — the paper's
+// termination condition.
+func (t *Table) Complete() bool { return t.root.complete }
+
+// Contains reports whether the subproblem encoded by c is known completed,
+// either directly or through a completed ancestor.
+func (t *Table) Contains(c code.Code) bool {
+	n := t.root
+	for _, d := range c {
+		if n.complete {
+			return true
+		}
+		if !n.hasChild[d.Branch&1] || n.branchVar != d.Var {
+			return false
+		}
+		n = n.children[d.Branch&1]
+	}
+	return n.complete
+}
+
+// Codes returns the contracted frontier: the minimal set of codes whose
+// completion implies everything the table knows. This is exactly what a
+// process sends when it gossips its whole table. Order is deterministic
+// (depth-first, branch 0 before branch 1).
+func (t *Table) Codes() []code.Code {
+	var out []code.Code
+	var walk func(n *node, prefix code.Code)
+	walk = func(n *node, prefix code.Code) {
+		if n.complete {
+			out = append(out, prefix.Clone())
+			return
+		}
+		for b := uint8(0); b < 2; b++ {
+			if n.hasChild[b] {
+				walk(n.children[b], prefix.Child(n.branchVar, b))
+			}
+		}
+	}
+	walk(t.root, code.Root())
+	return out
+}
+
+// Complement returns a minimal set of codes covering every tree node not
+// known completed. A process that suspects work has been lost picks an entry
+// of the complement and re-solves it (§5.3.2 failure recovery). If max > 0,
+// at most max codes are returned. An empty result means the table is
+// complete. An empty *table* yields the root code: nothing is known, so
+// everything must be (re)done.
+func (t *Table) Complement(max int) []code.Code {
+	var out []code.Code
+	var walk func(n *node, prefix code.Code) bool // returns false when max hit
+	walk = func(n *node, prefix code.Code) bool {
+		if n.complete {
+			return true
+		}
+		if !n.hasChild[0] && !n.hasChild[1] {
+			// Nothing below this node has been reported: the whole
+			// subproblem is (as far as we know) outstanding.
+			out = append(out, prefix.Clone())
+			return max <= 0 || len(out) < max
+		}
+		for b := uint8(0); b < 2; b++ {
+			child := prefix.Child(n.branchVar, b)
+			if n.hasChild[b] {
+				if !walk(n.children[b], child) {
+					return false
+				}
+			} else {
+				// The sibling branch was reported but this branch never
+				// was: complement it (the paper's "complementing the code
+				// of a solved problem whose sibling is not solved").
+				out = append(out, child)
+				if max > 0 && len(out) >= max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	walk(t.root, code.Root())
+	return out
+}
+
+// Merge inserts every frontier code of other into t. It returns the number
+// of codes that changed t. Var-mismatch entries are counted in errs.
+func (t *Table) Merge(other *Table) (changed int, errs int) {
+	return t.InsertAll(other.Codes())
+}
+
+// InsertAll inserts each code, returning how many changed the table and how
+// many failed validation.
+func (t *Table) InsertAll(cs []code.Code) (changed int, errs int) {
+	for _, c := range cs {
+		ok, err := t.Insert(c)
+		if err != nil {
+			errs++
+			continue
+		}
+		if ok {
+			changed++
+		}
+	}
+	return changed, errs
+}
+
+// Len returns the number of frontier codes (complete trie vertices).
+func (t *Table) Len() int {
+	n := 0
+	var walk func(*node)
+	walk = func(v *node) {
+		if v.complete {
+			n++
+			return
+		}
+		for b := 0; b < 2; b++ {
+			if v.hasChild[b] {
+				walk(v.children[b])
+			}
+		}
+	}
+	walk(t.root)
+	return n
+}
+
+// NodeCount returns the number of trie vertices, a proxy for in-memory size.
+func (t *Table) NodeCount() int { return t.nodeCount }
+
+// WireSize returns the number of bytes Encode produces: the simulator charges
+// this against the communication model when a table is gossiped.
+func (t *Table) WireSize() int {
+	sz := 1 // count varint; tables are small enough that 1 byte dominates
+	cs := t.Codes()
+	sz = uvarintLen(uint64(len(cs)))
+	for _, c := range cs {
+		sz += c.WireSize()
+	}
+	return sz
+}
+
+// Encode appends the wire encoding of the table (its contracted frontier) to
+// dst.
+func (t *Table) Encode(dst []byte) []byte {
+	return code.AppendAll(dst, t.Codes())
+}
+
+// Decode reconstructs a table from Encode output.
+func Decode(buf []byte) (*Table, error) {
+	cs, _, err := code.DecodeAll(buf)
+	if err != nil {
+		return nil, err
+	}
+	t := New()
+	if _, errs := t.InsertAll(cs); errs > 0 {
+		return nil, fmt.Errorf("ctree: decode: %d invalid codes", errs)
+	}
+	return t, nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := New()
+	c.root = cloneNode(t.root)
+	c.nodeCount = t.nodeCount
+	return c
+}
+
+func cloneNode(n *node) *node {
+	m := &node{branchVar: n.branchVar, hasChild: n.hasChild, complete: n.complete}
+	for b := 0; b < 2; b++ {
+		if n.hasChild[b] {
+			m.children[b] = cloneNode(n.children[b])
+		}
+	}
+	return m
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

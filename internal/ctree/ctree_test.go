@@ -1,0 +1,467 @@
+package ctree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gossipbnb/internal/code"
+)
+
+func mk(pairs ...uint32) code.Code {
+	c := code.Root()
+	for i := 0; i < len(pairs); i += 2 {
+		c = c.Child(pairs[i], uint8(pairs[i+1]))
+	}
+	return c
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New()
+	if tb.Complete() {
+		t.Error("empty table reports complete")
+	}
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tb.Len())
+	}
+	comp := tb.Complement(0)
+	if len(comp) != 1 || !comp[0].IsRoot() {
+		t.Errorf("Complement of empty table = %v, want [()]", comp)
+	}
+}
+
+func TestInsertAndContains(t *testing.T) {
+	tb := New()
+	c := mk(1, 0, 2, 1)
+	changed, err := tb.Insert(c)
+	if err != nil || !changed {
+		t.Fatalf("Insert = %v, %v", changed, err)
+	}
+	if !tb.Contains(c) {
+		t.Error("Contains(inserted) = false")
+	}
+	if tb.Contains(mk(1, 0)) {
+		t.Error("Contains(parent of inserted) = true")
+	}
+	if !tb.Contains(mk(1, 0, 2, 1, 7, 0)) {
+		t.Error("Contains(descendant of inserted) = false; completion of a node implies its subtree")
+	}
+	// Re-insert: no change.
+	changed, err = tb.Insert(c)
+	if err != nil || changed {
+		t.Errorf("duplicate Insert = %v, %v; want false, nil", changed, err)
+	}
+}
+
+func TestSiblingContraction(t *testing.T) {
+	tb := New()
+	tb.Insert(mk(1, 0, 2, 0))
+	if tb.Contains(mk(1, 0)) {
+		t.Fatal("half pair should not complete parent")
+	}
+	tb.Insert(mk(1, 0, 2, 1))
+	if !tb.Contains(mk(1, 0)) {
+		t.Error("sibling pair did not contract to parent")
+	}
+	cs := tb.Codes()
+	if len(cs) != 1 || !cs[0].Equal(mk(1, 0)) {
+		t.Errorf("Codes after contraction = %v, want [(<x1,0>)]", cs)
+	}
+}
+
+func TestRecursiveContractionToRoot(t *testing.T) {
+	// Paper §5.4: successive compressions reaching the root code detect
+	// termination. Build a depth-3 complete tree and insert all 8 leaves.
+	tb := New()
+	leaves := []code.Code{}
+	for i := 0; i < 8; i++ {
+		c := mk(1, uint32(i>>2&1), 2, uint32(i>>1&1), 3, uint32(i&1))
+		leaves = append(leaves, c)
+	}
+	for i, c := range leaves {
+		if tb.Complete() {
+			t.Fatalf("complete before all leaves inserted (after %d)", i)
+		}
+		tb.Insert(c)
+	}
+	if !tb.Complete() {
+		t.Error("all leaves inserted but root not complete")
+	}
+	cs := tb.Codes()
+	if len(cs) != 1 || !cs[0].IsRoot() {
+		t.Errorf("Codes = %v, want [()]", cs)
+	}
+	if len(tb.Complement(0)) != 0 {
+		t.Errorf("Complement of complete table = %v, want empty", tb.Complement(0))
+	}
+}
+
+func TestHeterogeneousBranchVars(t *testing.T) {
+	// Figure 1: the left subtree of the root branches on x2, the right on x3;
+	// deeper still on x5 / x4. Contraction must respect per-node variables.
+	tb := New()
+	tb.Insert(mk(1, 0, 2, 0))
+	tb.Insert(mk(1, 0, 2, 1, 5, 0))
+	tb.Insert(mk(1, 0, 2, 1, 5, 1))
+	tb.Insert(mk(1, 1, 3, 0))
+	tb.Insert(mk(1, 1, 3, 1, 4, 0))
+	tb.Insert(mk(1, 1, 3, 1, 4, 1))
+	if !tb.Complete() {
+		t.Error("Figure 1 tree fully inserted but not complete")
+	}
+}
+
+func TestAncestorSubsumesDescendants(t *testing.T) {
+	tb := New()
+	tb.Insert(mk(1, 0, 2, 0, 3, 1))
+	tb.Insert(mk(1, 0)) // ancestor arrives later
+	cs := tb.Codes()
+	if len(cs) != 1 || !cs[0].Equal(mk(1, 0)) {
+		t.Errorf("Codes = %v, want only the ancestor", cs)
+	}
+	// Descendant arriving after ancestor: no change.
+	changed, err := tb.Insert(mk(1, 0, 2, 1))
+	if err != nil || changed {
+		t.Errorf("Insert(subsumed) = %v, %v; want false, nil", changed, err)
+	}
+}
+
+func TestVarMismatch(t *testing.T) {
+	tb := New()
+	if _, err := tb.Insert(mk(1, 0, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tb.Insert(mk(1, 0, 9, 1)) // same node branched on x9 instead of x2
+	if err == nil {
+		t.Fatal("var mismatch not detected")
+	}
+	if _, ok := err.(*VarMismatchError); !ok {
+		t.Errorf("error type = %T, want *VarMismatchError", err)
+	}
+}
+
+func TestComplementHalfTree(t *testing.T) {
+	tb := New()
+	tb.Insert(mk(1, 0))
+	comp := tb.Complement(0)
+	if len(comp) != 1 || !comp[0].Equal(mk(1, 1)) {
+		t.Errorf("Complement = %v, want [(<x1,1>)]", comp)
+	}
+}
+
+func TestComplementDeep(t *testing.T) {
+	tb := New()
+	tb.Insert(mk(1, 0, 2, 1, 5, 0))
+	comp := tb.Complement(0)
+	// Expected missing regions: (<x1,0>,<x2,0>), (<x1,0>,<x2,1>,<x5,1>), (<x1,1>)
+	want := map[string]bool{
+		mk(1, 0, 2, 0).Key():       true,
+		mk(1, 0, 2, 1, 5, 1).Key(): true,
+		mk(1, 1).Key():             true,
+	}
+	if len(comp) != len(want) {
+		t.Fatalf("Complement = %v, want 3 regions", comp)
+	}
+	for _, c := range comp {
+		if !want[c.Key()] {
+			t.Errorf("unexpected complement entry %v", c)
+		}
+	}
+}
+
+func TestComplementMax(t *testing.T) {
+	tb := New()
+	tb.Insert(mk(1, 0, 2, 1, 5, 0))
+	if got := tb.Complement(1); len(got) != 1 {
+		t.Errorf("Complement(1) returned %d codes", len(got))
+	}
+	if got := tb.Complement(2); len(got) != 2 {
+		t.Errorf("Complement(2) returned %d codes", len(got))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tb := New()
+	tb.Insert(mk(1, 0, 2, 1, 5, 0))
+	tb.Insert(mk(1, 1, 3, 0))
+	buf := tb.Encode(nil)
+	if len(buf) != tb.WireSize() {
+		t.Errorf("len(Encode) = %d, WireSize = %d", len(buf), tb.WireSize())
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCodes(got.Codes(), tb.Codes()) {
+		t.Errorf("round trip: %v != %v", got.Codes(), tb.Codes())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Insert(mk(1, 0, 2, 0))
+	b.Insert(mk(1, 0, 2, 1))
+	b.Insert(mk(1, 1))
+	changed, errs := a.Merge(b)
+	if errs != 0 {
+		t.Fatalf("Merge errs = %d", errs)
+	}
+	if changed != 2 {
+		t.Errorf("Merge changed = %d, want 2", changed)
+	}
+	if !a.Complete() {
+		t.Error("merged table should contract to root")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New()
+	a.Insert(mk(1, 0, 2, 0))
+	b := a.Clone()
+	b.Insert(mk(1, 0, 2, 1))
+	if a.Contains(mk(1, 0)) {
+		t.Error("mutation of clone leaked into original")
+	}
+	if !b.Contains(mk(1, 0)) {
+		t.Error("clone missing inserted data")
+	}
+}
+
+func TestNodeCountPrunes(t *testing.T) {
+	tb := New()
+	for i := 0; i < 8; i++ {
+		tb.Insert(mk(1, uint32(i>>2&1), 2, uint32(i>>1&1), 3, uint32(i&1)))
+	}
+	if !tb.Complete() {
+		t.Fatal("not complete")
+	}
+	if tb.NodeCount() != 1 {
+		t.Errorf("NodeCount after full contraction = %d, want 1 (root only)", tb.NodeCount())
+	}
+}
+
+// --- randomized / property tests -------------------------------------------
+
+// randTree generates a random binary tree of nLeaves leaves and returns its
+// leaf codes. Interior nodes get distinct branch variables.
+func randTree(r *rand.Rand, maxDepth int) []code.Code {
+	var leaves []code.Code
+	varSeq := uint32(1)
+	var build func(prefix code.Code, depth int)
+	build = func(prefix code.Code, depth int) {
+		if depth >= maxDepth || r.Intn(3) == 0 {
+			leaves = append(leaves, prefix)
+			return
+		}
+		v := varSeq
+		varSeq++
+		build(prefix.Child(v, 0), depth+1)
+		build(prefix.Child(v, 1), depth+1)
+	}
+	build(code.Root(), 0)
+	return leaves
+}
+
+func TestPropAllLeavesAnyOrderTerminates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		leaves := randTree(r, 8)
+		r.Shuffle(len(leaves), func(i, j int) { leaves[i], leaves[j] = leaves[j], leaves[i] })
+		tb := New()
+		for _, c := range leaves {
+			if _, err := tb.Insert(c); err != nil {
+				return false
+			}
+		}
+		return tb.Complete() && tb.NodeCount() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropComplementPartition(t *testing.T) {
+	// For any partial insertion, every leaf is covered by exactly one of
+	// {table frontier, complement}.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		leaves := randTree(r, 7)
+		tb := New()
+		inserted := map[string]bool{}
+		for _, c := range leaves {
+			if r.Intn(2) == 0 {
+				tb.Insert(c)
+				inserted[c.Key()] = true
+			}
+		}
+		comp := tb.Complement(0)
+		for _, leaf := range leaves {
+			inTable := tb.Contains(leaf)
+			inComp := false
+			for _, cc := range comp {
+				if cc.Equal(leaf) || cc.IsAncestorOf(leaf) {
+					inComp = true
+					break
+				}
+			}
+			if inTable == inComp {
+				return false // must be exactly one
+			}
+			if inserted[leaf.Key()] != inTable {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropInsertOrderIrrelevant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		leaves := randTree(r, 7)
+		subset := leaves[:r.Intn(len(leaves)+1)]
+		a := New()
+		for _, c := range subset {
+			a.Insert(c)
+		}
+		shuffled := append([]code.Code(nil), subset...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := New()
+		for _, c := range shuffled {
+			b.Insert(c)
+		}
+		return sameCodes(a.Codes(), b.Codes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropListTableAgreesWithTrie(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		leaves := randTree(r, 6)
+		r.Shuffle(len(leaves), func(i, j int) { leaves[i], leaves[j] = leaves[j], leaves[i] })
+		trie, list := New(), NewList()
+		for _, c := range leaves[:r.Intn(len(leaves)+1)] {
+			trie.Insert(c)
+			list.Insert(c)
+		}
+		if trie.Complete() != list.Complete() {
+			return false
+		}
+		return sameCodes(trie.Codes(), list.Codes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMergeCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		leaves := randTree(r, 6)
+		a1, b1 := New(), New()
+		for _, c := range leaves {
+			switch r.Intn(3) {
+			case 0:
+				a1.Insert(c)
+			case 1:
+				b1.Insert(c)
+			}
+		}
+		ab := a1.Clone()
+		ab.Merge(b1)
+		ba := b1.Clone()
+		ba.Merge(a1)
+		return sameCodes(ab.Codes(), ba.Codes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sameCodes(a, b []code.Code) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := map[string]bool{}
+	for _, c := range a {
+		am[c.Key()] = true
+	}
+	for _, c := range b {
+		if !am[c.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestListTableBasics(t *testing.T) {
+	l := NewList()
+	if l.Complete() {
+		t.Error("empty list complete")
+	}
+	l.Insert(mk(1, 0))
+	l.Insert(mk(1, 1))
+	if !l.Complete() {
+		t.Error("sibling pair did not contract to root")
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestListTableSubsumption(t *testing.T) {
+	l := NewList()
+	l.Insert(mk(1, 0, 2, 0))
+	l.Insert(mk(1, 0, 2, 1, 5, 0))
+	l.Insert(mk(1, 0)) // subsumes both
+	cs := l.Codes()
+	if len(cs) != 1 || !cs[0].Equal(mk(1, 0)) {
+		t.Errorf("Codes = %v", cs)
+	}
+	if !l.Contains(mk(1, 0, 2, 0)) {
+		t.Error("Contains(descendant) = false")
+	}
+}
+
+// The two representation benches below share one workload so their numbers
+// are directly comparable (the DESIGN.md table-representation ablation).
+func repBenchLeaves() []code.Code {
+	r := rand.New(rand.NewSource(1))
+	return randTree(r, 11)
+}
+
+func BenchmarkTrieInsertContract(b *testing.B) {
+	leaves := repBenchLeaves()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := New()
+		for _, c := range leaves {
+			tb.Insert(c)
+		}
+		if !tb.Complete() {
+			b.Fatal("not complete")
+		}
+	}
+}
+
+func BenchmarkListInsertContract(b *testing.B) {
+	leaves := repBenchLeaves()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := NewList()
+		for _, c := range leaves {
+			tb.Insert(c)
+		}
+		if !tb.Complete() {
+			b.Fatal("not complete")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package dbnb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gossipbnb/internal/btree"
+)
+
+// TestPropRandomCrashSchedules is the paper's headline guarantee as a
+// property: for ANY schedule that leaves at least one process alive, the run
+// terminates with the exact optimum.
+func TestPropRandomCrashSchedules(t *testing.T) {
+	tr := btree.Tiny(11)
+	base := Run(tr, Config{Procs: 4, Seed: 1, RecoveryQuiet: 3})
+	if !base.Terminated {
+		t.Fatal("baseline did not terminate")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		procs := 2 + r.Intn(4)
+		kills := r.Intn(procs) // 0 .. procs-1: at least one survivor
+		perm := r.Perm(procs)
+		cfg := Config{Procs: procs, Seed: seed, RecoveryQuiet: 3}
+		for i := 0; i < kills; i++ {
+			cfg.Crashes = append(cfg.Crashes, Crash{
+				Time: r.Float64() * 2 * base.Time,
+				Node: perm[i],
+			})
+		}
+		res := Run(tr, cfg)
+		return res.Terminated && res.OptimumOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropLossySchedules: message loss alone must never break termination
+// or the optimum.
+func TestPropLossySchedules(t *testing.T) {
+	tr := btree.Tiny(12)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Procs:         2 + r.Intn(5),
+			Seed:          seed,
+			Loss:          r.Float64() * 0.3,
+			RecoveryQuiet: 4,
+		}
+		res := Run(tr, cfg)
+		return res.Terminated && res.OptimumOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChaosEverythingAtOnce combines crashes, loss, a partition, pruning,
+// depth-first selection, membership, and adaptive reports in one run.
+func TestChaosEverythingAtOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	tr := btree.Random(r, btree.RandomConfig{
+		Size:         1201,
+		Cost:         btree.CostModel{Mean: 0.05, Sigma: 0.5},
+		BoundSpread:  2,
+		FeasibleProb: 0.1,
+	})
+	res := Run(tr, Config{
+		Procs:           8,
+		Seed:            13,
+		Prune:           true,
+		Select:          DepthFirst,
+		Loss:            0.08,
+		UseMembership:   true,
+		AdaptiveReports: true,
+		RecoveryQuiet:   8,
+		Crashes: []Crash{
+			{Time: 4, Node: 5}, {Time: 6, Node: 6}, {Time: 9, Node: 7},
+		},
+		Partitions: []Partition{{Start: 3, End: 10, Group: []int{0, 1, 2}}},
+	})
+	if !res.Terminated {
+		t.Fatalf("chaos run did not terminate: %+v", res)
+	}
+	if !res.OptimumOK {
+		t.Fatalf("chaos run lost the optimum: got %g", res.Optimum)
+	}
+}
+
+// TestPartitionBothSidesProgress: during a partition, both sides keep
+// working (recovery re-creates the other side's regions); after healing the
+// system converges without double-counting completions in the tables.
+func TestPartitionBothSidesProgress(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	tr := btree.Random(r, btree.RandomConfig{
+		Size:         801,
+		Cost:         btree.CostModel{Mean: 0.05},
+		BoundSpread:  1,
+		FeasibleProb: 0.1,
+	})
+	base := Run(tr, Config{Procs: 6, Seed: 14, RecoveryQuiet: 4})
+	res := Run(tr, Config{
+		Procs: 6, Seed: 14, RecoveryQuiet: 4,
+		Partitions: []Partition{{Start: 1, End: base.Time * 2, Group: []int{0, 1, 2}}},
+	})
+	if !res.Terminated || !res.OptimumOK {
+		t.Fatalf("partitioned run failed: %+v", res)
+	}
+	// Both sides redo each other's work, so redundancy must appear.
+	if res.Redundant == 0 {
+		t.Error("long partition caused no redundant work (suspicious)")
+	}
+}
+
+// TestDepthFirstDeterministic: determinism must hold under the alternate
+// selection rule too.
+func TestDepthFirstDeterministic(t *testing.T) {
+	tr := btree.Tiny(15)
+	cfg := Config{Procs: 5, Seed: 99, Select: DepthFirst, Loss: 0.1, RecoveryQuiet: 4}
+	a, b := Run(tr, cfg), Run(tr, cfg)
+	if a.Time != b.Time || a.Expanded != b.Expanded || a.Net != b.Net {
+		t.Errorf("nondeterministic under depth-first: %+v vs %+v", a, b)
+	}
+}
+
+// TestAdaptiveReportsCorrectness: the adaptive flush must not change
+// answers, only traffic.
+func TestAdaptiveReportsCorrectness(t *testing.T) {
+	tr := btree.Tiny(16)
+	fixed := Run(tr, Config{Procs: 4, Seed: 5, RecoveryQuiet: 4, CostFactor: 20, ReportTimeout: 2})
+	adaptive := Run(tr, Config{Procs: 4, Seed: 5, RecoveryQuiet: 4, CostFactor: 20, ReportTimeout: 2, AdaptiveReports: true})
+	if !fixed.Terminated || !adaptive.Terminated {
+		t.Fatal("runs did not terminate")
+	}
+	if fixed.Optimum != adaptive.Optimum {
+		t.Errorf("adaptive reporting changed the optimum: %g vs %g",
+			adaptive.Optimum, fixed.Optimum)
+	}
+}
+
+// TestPoolDisciplines exercises the dual-discipline pool directly.
+func TestPoolDisciplines(t *testing.T) {
+	bf := pool{}
+	for _, b := range []float64{5, 1, 3, 2, 4} {
+		bf.push(poolItem{bound: b})
+	}
+	prev := -1.0
+	for bf.Len() > 0 {
+		b := bf.pop().bound
+		if b < prev {
+			t.Fatalf("best-first order violated: %g after %g", b, prev)
+		}
+		prev = b
+	}
+	df := pool{dfs: true}
+	for _, b := range []float64{5, 1, 3} {
+		df.push(poolItem{bound: b})
+	}
+	if got := df.pop().bound; got != 3 {
+		t.Errorf("depth-first pop = %g, want 3 (LIFO)", got)
+	}
+	// steal takes the smallest bound under both disciplines.
+	if got := df.steal().bound; got != 1 {
+		t.Errorf("depth-first steal = %g, want 1", got)
+	}
+	bf2 := pool{}
+	bf2.push(poolItem{bound: 2})
+	bf2.push(poolItem{bound: 1})
+	if got := bf2.steal().bound; got != 1 {
+		t.Errorf("best-first steal = %g, want 1", got)
+	}
+}

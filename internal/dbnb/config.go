@@ -1,0 +1,191 @@
+// Package dbnb implements the paper's contribution (§5): a fully
+// decentralized, asynchronous, fault-tolerant parallel branch-and-bound
+// algorithm for unreliable pools of resources, built from
+//
+//   - on-demand dynamic load balancing (work requests to random members),
+//   - incumbent circulation piggybacked on every message,
+//   - the tree-code fault-tolerance mechanism of internal/ctree
+//     (work reports, table merging and contraction, complement-based
+//     recovery of lost work), and
+//   - almost-implicit termination detection (§5.4).
+//
+// The algorithm runs over the deterministic simulator of internal/sim,
+// replaying a recorded basic tree (internal/btree), exactly as the paper's
+// Parsec experiments did.
+package dbnb
+
+import (
+	"gossipbnb/internal/sim"
+	"gossipbnb/internal/trace"
+)
+
+// SelectRule chooses which active problem a process branches next.
+type SelectRule int
+
+// Selection rules.
+const (
+	BestFirst SelectRule = iota
+	DepthFirst
+)
+
+// Crash schedules a crash-stop failure of one process.
+type Crash struct {
+	Time float64 // virtual time of the halt
+	Node int
+}
+
+// Partition isolates Group from everyone else during [Start, End).
+type Partition struct {
+	Start, End float64
+	Group      []int
+}
+
+// Config parameterizes a simulated run.
+type Config struct {
+	Procs int
+	Seed  int64
+
+	// Network model. Latency nil means the paper's 1.5 + 0.005·L ms model.
+	Latency sim.LatencyModel
+	Loss    float64
+
+	// CostFactor scales every node cost, the paper's granularity knob
+	// ("we tuned this granularity by multiplying all time values by a
+	// constant factor"). 0 means 1.
+	CostFactor float64
+
+	// Prune enables incumbent-based elimination. The paper prunes real
+	// trees and runs random trees "without eliminating the unpromising
+	// nodes"; both modes are supported.
+	Prune bool
+
+	// Select is the local selection rule (§2): BestFirst pops the smallest
+	// bound, DepthFirst the most recently generated problem. Depth-first
+	// completes whole subtrees locally, which is what makes work-report
+	// compression effective (§5.3.2) and keeps pools small.
+	Select SelectRule
+
+	// ReportBatch is c: completed codes accumulated before a work report is
+	// sent. ReportFanout is m: how many random members receive each report.
+	ReportBatch  int
+	ReportFanout int
+	// ReportTimeout flushes a non-empty outbox that has waited this long.
+	ReportTimeout float64
+	// AdaptiveReports scales the outbox flush timeout with the observed
+	// per-subproblem execution time, so that coarse-granularity runs do not
+	// ship half-empty reports at a fixed wall-clock cadence. This is the
+	// adaptive mechanism the paper calls for after observing that
+	// "communication increases unnecessarily because work reports are sent
+	// at fixed time intervals" (§6.3.1, §7).
+	AdaptiveReports bool
+	// TableInterval is how often a member pushes its whole table to one
+	// random member (0 disables).
+	TableInterval float64
+
+	// MinPoolToShare is how many active problems a process must hold before
+	// it grants work away. MaxShare caps problems per grant.
+	MinPoolToShare int
+	MaxShare       int
+	// RequestTimeout bounds the wait for a work-request answer before the
+	// attempt counts as failed.
+	RequestTimeout float64
+	// RetryDelay paces retries after a failed work request. While retrying,
+	// a starving process also pushes its table to random members — the
+	// paper's observation that lightly loaded processes "suspect termination
+	// and send more work reports".
+	RetryDelay float64
+	// RecoveryPatience is how many consecutive failed work requests a
+	// process tolerates before it presumes work was lost and recovers an
+	// uncompleted problem from the complement of its table (§5.3.2).
+	RecoveryPatience int
+	// RecoveryQuiet is the minimum window without any remote progress (a
+	// work grant, or a report/table that taught the process something new)
+	// before a starving process may presume work was lost. It prevents the
+	// complement of a still-empty table — the root problem — from being
+	// redundantly adopted during start-up, when idleness just means the
+	// work has not spread yet. Each attempt jitters the window ±25% so
+	// concurrent recoverers stagger. This is the paper's "how soon failure
+	// is suspected after a machine unsuccessfully tries to get work" knob.
+	RecoveryQuiet float64
+	// DisableRecovery turns the failure-recovery mechanism off (ablation;
+	// with failures the run will then hang until MaxTime).
+	DisableRecovery bool
+
+	// CommOverhead is the modeled CPU seconds to handle one received
+	// message; ContractPerCode the CPU seconds per code merged into the
+	// table. Together they produce the paper's "communication time" and
+	// "list contraction time" columns.
+	CommOverhead    float64
+	ContractPerCode float64
+
+	// UseMembership runs the gossip membership protocol (§5.2) instead of a
+	// predetermined resource pool; the paper's own simulations use the
+	// predetermined pool ("we do not include yet the membership protocol").
+	UseMembership bool
+
+	// Fault injection.
+	Crashes    []Crash
+	Partitions []Partition
+
+	// MaxTime aborts a run that fails to terminate (0 = 1e9 seconds).
+	MaxTime float64
+
+	// Trace, if non-nil, records per-process activity spans (Figures 5/6).
+	Trace *trace.Log
+}
+
+// withDefaults fills unset fields with the defaults used throughout the
+// experiments.
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	if c.Latency == nil {
+		c.Latency = sim.PaperLatency()
+	}
+	if c.CostFactor <= 0 {
+		c.CostFactor = 1
+	}
+	if c.ReportBatch <= 0 {
+		c.ReportBatch = 8
+	}
+	if c.ReportFanout <= 0 {
+		c.ReportFanout = 2
+	}
+	if c.ReportTimeout <= 0 {
+		c.ReportTimeout = 30
+	}
+	if c.TableInterval < 0 {
+		c.TableInterval = 0
+	} else if c.TableInterval == 0 {
+		c.TableInterval = 120
+	}
+	if c.MinPoolToShare <= 0 {
+		c.MinPoolToShare = 2
+	}
+	if c.MaxShare <= 0 {
+		c.MaxShare = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 3
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 1
+	}
+	if c.RecoveryPatience <= 0 {
+		c.RecoveryPatience = 3
+	}
+	if c.RecoveryQuiet <= 0 {
+		c.RecoveryQuiet = 10 * c.RetryDelay
+	}
+	if c.CommOverhead <= 0 {
+		c.CommOverhead = 200e-6
+	}
+	if c.ContractPerCode <= 0 {
+		c.ContractPerCode = 20e-6
+	}
+	if c.MaxTime <= 0 {
+		c.MaxTime = 1e9
+	}
+	return c
+}

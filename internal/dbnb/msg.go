@@ -1,0 +1,87 @@
+package dbnb
+
+import (
+	"gossipbnb/internal/code"
+)
+
+// Every message carries two piggybacked scalars:
+//
+//   - incumbent: the sender's best-known solution value — the paper solves
+//     information sharing by embedding it "in the most frequently sent
+//     messages" (§5);
+//   - actAge: how many seconds ago, as far as the sender knows, *some*
+//     process in the system was actively computing (0 if the sender itself
+//     is). Receivers keep the freshest evidence. This age diffuses
+//     epidemically through the messages starving processes exchange anyway,
+//     and gates failure recovery: a process only presumes work lost when the
+//     whole system has looked inactive for a quiet window. Ages, unlike
+//     timestamps, survive the unsynchronized clocks of §4. The paper notes
+//     that "the lag in updating information can lead to faulty presumptions
+//     on failure"; activity-age gossip is our implementation of the tuning
+//     it prescribes.
+//
+// Sizes follow the wire encodings: codes in binary form, 8 bytes per scalar,
+// 1 byte of framing.
+
+// msgReport is a work report: a contracted batch of completed-problem codes
+// (§5.3.2). A report whose only code is the root is the final termination
+// broadcast of §5.4.
+type msgReport struct {
+	codes     []code.Code
+	incumbent float64
+	actAge    float64
+}
+
+// Size implements sim.Message.
+func (m msgReport) Size() int { return 17 + codesWireSize(m.codes) }
+
+// msgTable is the occasional full-table push "to inform new members of the
+// current state of the execution and to increase the degree of consistency".
+// Its payload is the sender's contracted table frontier.
+type msgTable struct {
+	codes     []code.Code
+	incumbent float64
+	actAge    float64
+}
+
+// Size implements sim.Message.
+func (m msgTable) Size() int { return 17 + codesWireSize(m.codes) }
+
+// msgWorkRequest asks a randomly chosen member for problems.
+type msgWorkRequest struct {
+	incumbent float64
+	actAge    float64
+}
+
+// Size implements sim.Message.
+func (m msgWorkRequest) Size() int { return 17 }
+
+// msgWorkGrant transfers problems: codes suffice, because codes are
+// self-contained (§5.3.1) — the receiver rebuilds bound and decomposition
+// from the code plus the initial data every process holds.
+type msgWorkGrant struct {
+	codes     []code.Code
+	incumbent float64
+	actAge    float64
+}
+
+// Size implements sim.Message.
+func (m msgWorkGrant) Size() int { return 17 + codesWireSize(m.codes) }
+
+// msgWorkDeny tells a requester its target has no work to spare, so the
+// requester need not wait out the timeout.
+type msgWorkDeny struct {
+	incumbent float64
+	actAge    float64
+}
+
+// Size implements sim.Message.
+func (m msgWorkDeny) Size() int { return 17 }
+
+func codesWireSize(cs []code.Code) int {
+	n := 1
+	for _, c := range cs {
+		n += c.WireSize()
+	}
+	return n
+}

@@ -1,0 +1,244 @@
+package dbnb
+
+import (
+	"math"
+
+	"gossipbnb/internal/btree"
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/ctree"
+	"gossipbnb/internal/member"
+	"gossipbnb/internal/metrics"
+	"gossipbnb/internal/sim"
+	"gossipbnb/internal/trace"
+)
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Terminated reports whether every non-crashed process detected
+	// termination before MaxTime.
+	Terminated bool
+	// Time is the virtual time at which the last live process detected
+	// termination — the paper's "execution time".
+	Time float64
+	// FirstDetect is when the first process detected termination.
+	FirstDetect float64
+	// Optimum is the best solution value known to the terminated processes;
+	// OptimumOK compares it against the tree's true optimum.
+	Optimum   float64
+	OptimumOK bool
+	// Expanded counts node expansions summed over processes; Unique is the
+	// number of distinct tree nodes expanded; Redundant = Expanded − Unique
+	// is the paper's redundant work.
+	Expanded  int
+	Unique    int
+	Redundant int
+	// DetectTimes holds each process's termination-detection time
+	// (NaN = crashed, +Inf = never detected).
+	DetectTimes []float64
+	// Completions counts completion events summed over processes.
+	Completions int
+	// Met carries the per-process breakdowns, counters and storage peaks.
+	Met *metrics.System
+	// Net carries the network counters.
+	Net sim.NetStats
+}
+
+// harness owns one simulated run.
+type harness struct {
+	cfg      Config
+	k        *sim.Kernel
+	nw       *sim.Network
+	tree     *btree.Tree
+	nodes    []*node
+	members  []*member.Member
+	met      *metrics.System
+	union    *ctree.Table // ground truth of all completions, for storage accounting
+	unionOps int
+	expanded map[string]bool // tree nodes expanded at least once
+	// completions counts complete() events across processes (a subproblem
+	// completed by k processes counts k times).
+	completions int
+	detected    int
+	lastDet     float64
+	firstDet    float64
+}
+
+// view returns the members a process may contact. Without the membership
+// protocol the paper's simulations use a predetermined pool: every process
+// except oneself, including crashed ones — failures are not directly
+// detectable (§4), they only manifest as unanswered requests.
+func (h *harness) view(self sim.NodeID) []sim.NodeID {
+	if h.cfg.UseMembership {
+		return h.members[self].Peers()
+	}
+	out := make([]sim.NodeID, 0, len(h.nodes)-1)
+	for i := range h.nodes {
+		if sim.NodeID(i) != self {
+			out = append(out, sim.NodeID(i))
+		}
+	}
+	return out
+}
+
+// noteExpansion tracks redundant work: expansions of tree nodes some process
+// already expanded.
+func (h *harness) noteExpansion(n *node, c code.Code) {
+	key := c.Key()
+	if h.expanded[key] {
+		n.met.Redundant++
+		return
+	}
+	h.expanded[key] = true
+}
+
+// noteCompletion maintains the global union of completion information; its
+// peak wire size is the "one shared copy" baseline against which replicated
+// storage is called redundant. Sampled for the same reason as observeTable.
+func (h *harness) noteCompletion(c code.Code) {
+	h.completions++
+	h.union.Insert(c)
+	h.unionOps++
+	if h.unionOps%32 == 0 {
+		h.met.ObserveUnique(h.union.WireSize())
+	}
+}
+
+// noteTermination records a process's detection.
+func (h *harness) noteTermination(n *node) {
+	h.detected++
+	now := h.k.Now()
+	if h.detected == 1 || now < h.firstDet {
+		h.firstDet = now
+	}
+	if now > h.lastDet {
+		h.lastDet = now
+	}
+	if h.cfg.UseMembership {
+		// Leave the group so membership heartbeats quiesce; peers time the
+		// process out exactly as they would a failed one (§5.2).
+		h.members[n.id].Leave()
+	}
+}
+
+// Run simulates the algorithm of §5 solving the given basic tree and returns
+// the measured result. Runs are deterministic in (tree, cfg).
+func Run(tree *btree.Tree, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	h := &harness{
+		cfg:      cfg,
+		k:        sim.New(cfg.Seed),
+		tree:     tree,
+		met:      metrics.NewSystem(cfg.Procs),
+		union:    ctree.New(),
+		expanded: make(map[string]bool, tree.Size()),
+	}
+	h.nw = sim.NewNetwork(h.k, cfg.Latency)
+	h.nw.SetLoss(cfg.Loss)
+	for _, p := range cfg.Partitions {
+		ids := make([]sim.NodeID, len(p.Group))
+		for i, g := range p.Group {
+			ids[i] = sim.NodeID(g)
+		}
+		h.nw.AddPartition(p.Start, p.End, ids)
+	}
+
+	h.nodes = make([]*node, cfg.Procs)
+	if cfg.UseMembership {
+		h.members = make([]*member.Member, cfg.Procs)
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		id := sim.NodeID(i)
+		h.nodes[i] = newNode(id, h)
+		n := h.nodes[i]
+		if cfg.UseMembership {
+			h.members[i] = member.New(h.k, h.nw, id, []sim.NodeID{0}, member.DefaultConfig())
+			mem := h.members[i]
+			h.nw.Register(id, func(from sim.NodeID, msg sim.Message) {
+				if member.IsProtocolMessage(msg) {
+					mem.Deliver(from, msg)
+					return
+				}
+				n.deliver(from, msg)
+			})
+			mem.Join()
+		} else {
+			h.nw.Register(id, n.deliver)
+		}
+	}
+
+	// Process 0 starts with the original problem; everyone else pulls work
+	// through the load-balancing mechanism.
+	h.nodes[0].pool.push(poolItem{c: code.Root(), idx: 0, bound: tree.Nodes[0].Bound})
+
+	for i := range h.nodes {
+		n := h.nodes[i]
+		// Stagger periodic timers so they do not synchronize system-wide.
+		jitter := h.k.Rand().Float64()
+		h.k.At(jitter*cfg.ReportTimeout, n.reportTick)
+		if cfg.TableInterval > 0 {
+			h.k.At(jitter*cfg.TableInterval, n.tableTick)
+		}
+		h.k.At(0, n.loop)
+	}
+
+	crashTime := make([]float64, cfg.Procs)
+	for i := range crashTime {
+		crashTime[i] = math.NaN()
+	}
+	for _, c := range cfg.Crashes {
+		c := c
+		if c.Node < 0 || c.Node >= cfg.Procs {
+			continue
+		}
+		crashTime[c.Node] = c.Time
+		h.k.At(c.Time, func() {
+			h.nw.Crash(sim.NodeID(c.Node))
+			h.nodes[c.Node].crash()
+		})
+	}
+
+	end := h.k.Run(cfg.MaxTime)
+	// Leftover staggered timer events can outlive the computation; clamp the
+	// trace window to when the run actually finished.
+	traceEnd := end
+	if h.detected > 0 && h.lastDet < traceEnd {
+		traceEnd = h.lastDet
+	}
+
+	res := Result{
+		Time:        h.lastDet,
+		FirstDetect: h.firstDet,
+		Optimum:     math.Inf(1),
+		DetectTimes: make([]float64, cfg.Procs),
+		Met:         h.met,
+		Net:         h.nw.Stats(),
+		Unique:      len(h.expanded),
+		Completions: h.completions,
+	}
+	trueOpt := tree.Stats().Optimum
+	res.Terminated = true
+	anyDetected := false
+	for i, n := range h.nodes {
+		switch {
+		case n.crashed:
+			res.DetectTimes[i] = math.NaN()
+			cfg.Trace.Add(i, trace.Dead, crashTime[i], traceEnd)
+		case n.terminated:
+			res.DetectTimes[i] = n.detectedAt
+			anyDetected = true
+			if n.incumbent < res.Optimum {
+				res.Optimum = n.incumbent
+			}
+		default:
+			res.DetectTimes[i] = math.Inf(1)
+			res.Terminated = false
+		}
+		res.Expanded += n.met.Expanded
+	}
+	res.Terminated = res.Terminated && anyDetected
+	res.Redundant = res.Expanded - res.Unique
+	res.OptimumOK = res.Terminated && res.Optimum == trueOpt
+	// Final storage observations (peaks may have been missed by sampling).
+	h.met.ObserveUnique(h.union.WireSize())
+	return res
+}

@@ -1,0 +1,157 @@
+package dib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gossipbnb/internal/btree"
+)
+
+func smallTree(seed int64) *btree.Tree {
+	r := rand.New(rand.NewSource(seed))
+	return btree.Random(r, btree.RandomConfig{
+		Size:         301,
+		Cost:         btree.CostModel{Mean: 0.05, Sigma: 0.4},
+		BoundSpread:  1,
+		FeasibleProb: 0.1,
+	})
+}
+
+func TestSingleMachine(t *testing.T) {
+	tr := smallTree(1)
+	res := Run(tr, Config{Procs: 1, Seed: 1})
+	if !res.Terminated || !res.OptimumOK {
+		t.Fatalf("%+v", res)
+	}
+	if res.Expanded != tr.Size() {
+		t.Errorf("Expanded = %d, want %d", res.Expanded, tr.Size())
+	}
+	if res.Redundant != 0 {
+		t.Errorf("Redundant = %d", res.Redundant)
+	}
+}
+
+func TestParallelNoFailures(t *testing.T) {
+	tr := smallTree(2)
+	t1 := Run(tr, Config{Procs: 1, Seed: 5}).Time
+	res := Run(tr, Config{Procs: 4, Seed: 5})
+	if !res.Terminated || !res.OptimumOK {
+		t.Fatalf("%+v", res)
+	}
+	if res.Time >= t1 {
+		t.Errorf("no speedup: %g vs %g", res.Time, t1)
+	}
+	if res.Redundant != 0 {
+		t.Errorf("failure-free DIB run did redundant work: %d", res.Redundant)
+	}
+}
+
+func TestPruning(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tr := btree.Random(r, btree.RandomConfig{
+		Size:         1001,
+		Cost:         btree.CostModel{Mean: 0.02},
+		BoundSpread:  4,
+		FeasibleProb: 0.25,
+	})
+	full := Run(tr, Config{Procs: 3, Seed: 7})
+	pruned := Run(tr, Config{Procs: 3, Seed: 7, Prune: true})
+	if !pruned.Terminated || !pruned.OptimumOK {
+		t.Fatalf("%+v", pruned)
+	}
+	if pruned.Expanded >= full.Expanded {
+		t.Errorf("pruning did not help: %d >= %d", pruned.Expanded, full.Expanded)
+	}
+}
+
+func TestWorkerCrashIsRecovered(t *testing.T) {
+	// A non-root machine crashes: its donors redo the delegated subtrees.
+	tr := smallTree(4)
+	res := Run(tr, Config{
+		Procs: 4, Seed: 9, RedoTimeout: 8,
+		Crashes: []Crash{{Time: 3, Node: 2}},
+	})
+	if !res.Terminated || !res.OptimumOK {
+		t.Fatalf("worker crash not recovered: %+v", res)
+	}
+	if res.Redos == 0 {
+		t.Error("no delegation was redone despite a crash")
+	}
+}
+
+func TestMultipleWorkerCrashes(t *testing.T) {
+	tr := smallTree(5)
+	res := Run(tr, Config{
+		Procs: 5, Seed: 11, RedoTimeout: 8,
+		Crashes: []Crash{{Time: 2, Node: 1}, {Time: 3, Node: 2}, {Time: 4, Node: 3}, {Time: 5, Node: 4}},
+	})
+	if !res.Terminated || !res.OptimumOK {
+		t.Fatalf("mass worker crash not recovered: %+v", res)
+	}
+}
+
+func TestRootCrashIsFatal(t *testing.T) {
+	// DIB's defining weakness (§5.5): the root of the recovery hierarchy
+	// must be reliable. Crash machine 0 and the run cannot terminate.
+	tr := smallTree(6)
+	res := Run(tr, Config{
+		Procs: 4, Seed: 13, RedoTimeout: 5,
+		Crashes: []Crash{{Time: 2, Node: 0}},
+		MaxTime: 300,
+	})
+	if res.Terminated {
+		t.Fatal("DIB terminated despite root failure — reliable-root assumption not modeled")
+	}
+}
+
+func TestCrashLosesDescendantReports(t *testing.T) {
+	// §5.5: "the failure of a node affects not only the problems solved
+	// locally ... but also the problems given to other nodes, whose
+	// completion cannot be reported anymore." A crashed middleman forces
+	// redo of work that live machines already finished, so DIB's redundant
+	// work exceeds zero even though the dead machine's own work was tiny.
+	tr := smallTree(7)
+	res := Run(tr, Config{
+		Procs: 5, Seed: 15, RedoTimeout: 10,
+		Crashes: []Crash{{Time: 4, Node: 1}},
+	})
+	if !res.Terminated || !res.OptimumOK {
+		t.Fatalf("%+v", res)
+	}
+	if res.Redundant == 0 && res.Redos == 0 {
+		t.Error("middleman crash caused neither redo nor redundancy (suspicious)")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tr := smallTree(8)
+	cfg := Config{Procs: 4, Seed: 17, Crashes: []Crash{{Time: 3, Node: 3}}, RedoTimeout: 8}
+	a, b := Run(tr, cfg), Run(tr, cfg)
+	if a != b {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestOptimumUnderLoss(t *testing.T) {
+	tr := smallTree(9)
+	res := Run(tr, Config{Procs: 4, Seed: 19, Loss: 0.05, RedoTimeout: 10})
+	if !res.Terminated || !res.OptimumOK {
+		t.Fatalf("loss broke DIB: %+v", res)
+	}
+	if math.IsInf(res.Optimum, 1) {
+		t.Error("no optimum found")
+	}
+}
+
+func BenchmarkDIB4Procs(b *testing.B) {
+	tr := smallTree(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(tr, Config{Procs: 4, Seed: int64(i)})
+		if !res.Terminated {
+			b.Fatal("did not terminate")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/ctree"
+)
+
+// Figure1 prints the paper's problem-representation example: the tree whose
+// root branches on x1, whose left subtree branches on x2 then x5, and whose
+// right subtree branches on x3.
+func Figure1(w io.Writer) {
+	root := code.Root()
+	l := root.Child(1, 0)
+	r := root.Child(1, 1)
+	ll := l.Child(2, 0)
+	lr := l.Child(2, 1)
+	lrl := lr.Child(5, 0)
+	lrr := lr.Child(5, 1)
+	fmt.Fprintln(w, "Figure 1: problem representation — each node's code is its root path")
+	fmt.Fprintf(w, `
+                        %v
+               x1 ______/\______
+                 /              \
+          %v          %v
+         x2 ___/\___          x3 /\...
+           /        \
+ %v   %v
+                 x5 ___/\___
+                   /        \
+ %v  %v
+`, root, l, r, ll, lr, lrl, lrr)
+	fmt.Fprintln(w, "codes are self-contained: the code plus the initial data reconstructs the")
+	fmt.Fprintln(w, "subproblem on any processor (§5.3.1)")
+}
+
+// Figure2 demonstrates completed vs solved vs unsolved problems on the
+// Figure 1 tree: inserting the left-left child and both grandchildren of the
+// left-right child contracts to the code of the whole left subtree.
+func Figure2(w io.Writer) {
+	t := ctree.New()
+	steps := []struct {
+		c    code.Code
+		note string
+	}{
+		{code.Root().Child(1, 0).Child(2, 0), "leaf (<x1,0>,<x2,0>) completed"},
+		{code.Root().Child(1, 0).Child(2, 1).Child(5, 0), "leaf (<x1,0>,<x2,1>,<x5,0>) completed"},
+		{code.Root().Child(1, 0).Child(2, 1).Child(5, 1), "leaf (<x1,0>,<x2,1>,<x5,1>) completed — siblings contract"},
+	}
+	fmt.Fprintln(w, "Figure 2: completed, unsolved, and solved problems (table contraction)")
+	for _, s := range steps {
+		t.Insert(s.c)
+		fmt.Fprintf(w, "insert %-28v -> table %v   (%s)\n", s.c, t.Codes(), s.note)
+	}
+	fmt.Fprintf(w, "complement (uncompleted problems): %v\n", t.Complement(0))
+	fmt.Fprintln(w, "a solved problem whose sibling is unsolved is what failure recovery re-creates (§5.3.2)")
+}

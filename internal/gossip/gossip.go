@@ -1,0 +1,181 @@
+// Package gossip implements the epidemic communication of §5.1: variants of
+// the rumor-mongering algorithm of Demers et al. A site that receives a new
+// update becomes "infectious" and repeatedly forwards it to randomly chosen
+// members until the rumor cools. Epidemic spreading trades temporary
+// inconsistency for low overhead, but guarantees eventual consistency when
+// no new information enters the system — the property the paper's
+// termination detection exploits.
+//
+// The membership protocol forwards rumors unprocessed; the fault-tolerance
+// mechanism stores them for local processing and spreads them infrequently
+// (§5.1). Both behaviours are expressed through Agent's configuration.
+package gossip
+
+import (
+	"sort"
+
+	"gossipbnb/internal/sim"
+)
+
+// PeerView returns the peers an agent may gossip with, excluding itself.
+// Views are re-evaluated every round, so a membership protocol can feed its
+// current view in.
+type PeerView func() []sim.NodeID
+
+// StaticView adapts a fixed peer list (minus self) into a PeerView.
+func StaticView(self sim.NodeID, all []sim.NodeID) PeerView {
+	peers := make([]sim.NodeID, 0, len(all))
+	for _, id := range all {
+		if id != self {
+			peers = append(peers, id)
+		}
+	}
+	return func() []sim.NodeID { return peers }
+}
+
+// Config tunes an Agent.
+type Config struct {
+	// Fanout is the number of peers each hot rumor is pushed to per round
+	// (the paper's m).
+	Fanout int
+	// Interval is the virtual time between gossip rounds.
+	Interval float64
+	// MaxSends is how many rounds a rumor stays hot; after that the agent
+	// loses interest (the counter variant of rumor mongering).
+	MaxSends int
+}
+
+// DefaultConfig mirrors the low-overhead settings of the paper's membership
+// gossip: one peer per round, rumors hot for a handful of rounds.
+func DefaultConfig() Config {
+	return Config{Fanout: 1, Interval: 1, MaxSends: 4}
+}
+
+// Rumor is a disseminated update.
+type Rumor struct {
+	ID   string
+	Data []byte
+}
+
+type hotRumor struct {
+	r         Rumor
+	sendsLeft int
+}
+
+// Message is the wire format of one gossip push: a batch of rumors.
+type Message struct{ Rumors []Rumor }
+
+// Size implements sim.Message: per-rumor framing plus payload bytes.
+func (m Message) Size() int {
+	n := 1
+	for _, r := range m.Rumors {
+		n += 2 + len(r.ID) + len(r.Data)
+	}
+	return n
+}
+
+// Agent runs rumor mongering for one simulated node.
+type Agent struct {
+	id      sim.NodeID
+	k       *sim.Kernel
+	nw      *sim.Network
+	cfg     Config
+	view    PeerView
+	rumors  map[string]*hotRumor
+	seen    map[string]bool
+	stopped bool
+	// OnRumor, if non-nil, is invoked on first receipt of each rumor.
+	OnRumor func(Rumor)
+}
+
+// NewAgent creates an agent; the caller must route the node's incoming
+// gossip messages to Deliver and call Start to begin rounds.
+func NewAgent(k *sim.Kernel, nw *sim.Network, id sim.NodeID, view PeerView, cfg Config) *Agent {
+	if cfg.Fanout < 1 {
+		cfg.Fanout = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 1
+	}
+	if cfg.MaxSends < 1 {
+		cfg.MaxSends = 1
+	}
+	return &Agent{
+		id: id, k: k, nw: nw, cfg: cfg, view: view,
+		rumors: map[string]*hotRumor{},
+		seen:   map[string]bool{},
+	}
+}
+
+// Start schedules the agent's gossip rounds.
+func (a *Agent) Start() { a.k.After(a.cfg.Interval, a.round) }
+
+// Stop halts future rounds (the node left or crashed).
+func (a *Agent) Stop() { a.stopped = true }
+
+// Add introduces a locally originated rumor; it becomes hot immediately.
+func (a *Agent) Add(r Rumor) {
+	if a.seen[r.ID] {
+		return
+	}
+	a.seen[r.ID] = true
+	a.rumors[r.ID] = &hotRumor{r: r, sendsLeft: a.cfg.MaxSends}
+}
+
+// Knows reports whether the agent has seen the rumor.
+func (a *Agent) Knows(id string) bool { return a.seen[id] }
+
+// KnownCount returns how many distinct rumors the agent has seen.
+func (a *Agent) KnownCount() int { return len(a.seen) }
+
+// Deliver handles an incoming gossip message.
+func (a *Agent) Deliver(from sim.NodeID, m Message) {
+	if a.stopped {
+		return
+	}
+	for _, r := range m.Rumors {
+		if a.seen[r.ID] {
+			continue
+		}
+		a.seen[r.ID] = true
+		a.rumors[r.ID] = &hotRumor{r: r, sendsLeft: a.cfg.MaxSends}
+		if a.OnRumor != nil {
+			a.OnRumor(r)
+		}
+	}
+}
+
+// round pushes all hot rumors to Fanout random peers, cools them, and
+// reschedules itself.
+func (a *Agent) round() {
+	if a.stopped || a.nw.Crashed(a.id) {
+		return
+	}
+	hot := make([]Rumor, 0, len(a.rumors))
+	ids := make([]string, 0, len(a.rumors))
+	for id := range a.rumors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // map order must not leak into the simulation
+	for _, id := range ids {
+		h := a.rumors[id]
+		hot = append(hot, h.r)
+		h.sendsLeft--
+		if h.sendsLeft <= 0 {
+			delete(a.rumors, id)
+		}
+	}
+	if len(hot) > 0 {
+		peers := a.view()
+		if len(peers) > 0 {
+			msg := Message{Rumors: hot}
+			for i := 0; i < a.cfg.Fanout; i++ {
+				to := peers[a.k.Rand().Intn(len(peers))]
+				if to != a.id {
+					a.nw.Send(a.id, to, msg)
+				}
+			}
+		}
+	}
+	a.k.After(a.cfg.Interval, a.round)
+}

@@ -1,0 +1,488 @@
+package live
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gossipbnb/internal/btree"
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/ctree"
+)
+
+// Config parameterizes a live cluster.
+type Config struct {
+	Nodes int
+	Seed  int64
+	// TimeScale converts tree node costs (seconds) to real durations; e.g.
+	// 0.001 runs a 10-second tree in ~10 ms of wall clock per process.
+	TimeScale float64
+	// Delay maps message size to latency (nil = none); Loss drops messages.
+	// Both apply only to the default in-memory transport.
+	Delay func(bytes int) time.Duration
+	Loss  float64
+	// Network overrides the transport; nil means an in-memory Transport
+	// built from Seed/Delay/Loss. Pass a TCPNetwork to run over real
+	// sockets. The cluster closes the network when Run returns.
+	Network Net
+	// Protocol parameters, as in the simulator.
+	ReportBatch   int
+	ReportFanout  int
+	RetryDelay    time.Duration
+	RecoveryQuiet time.Duration
+	// Timeout bounds Run's wall-clock time.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 0.001
+	}
+	if c.ReportBatch <= 0 {
+		c.ReportBatch = 8
+	}
+	if c.ReportFanout <= 0 {
+		c.ReportFanout = 2
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 5 * time.Millisecond
+	}
+	if c.RecoveryQuiet <= 0 {
+		c.RecoveryQuiet = 50 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Result summarizes a live run.
+type Result struct {
+	Terminated bool
+	Optimum    float64
+	OptimumOK  bool
+	Expanded   int
+	Elapsed    time.Duration
+	MsgsSent   int64
+	BytesSent  int64
+}
+
+// message types (sizes mirror the simulator's wire model)
+
+type liveReport struct {
+	codes     []code.Code
+	incumbent float64
+}
+
+func (m liveReport) Size() int {
+	n := 9
+	for _, c := range m.codes {
+		n += c.WireSize()
+	}
+	return n
+}
+
+type liveRequest struct{ incumbent float64 }
+
+func (liveRequest) Size() int { return 9 }
+
+type liveGrant struct {
+	codes     []code.Code
+	incumbent float64
+}
+
+func (m liveGrant) Size() int {
+	n := 9
+	for _, c := range m.codes {
+		n += c.WireSize()
+	}
+	return n
+}
+
+type liveDeny struct{ incumbent float64 }
+
+func (liveDeny) Size() int { return 9 }
+
+// liveNode is one goroutine-backed process.
+type liveNode struct {
+	id      NodeID
+	cl      *Cluster
+	inbox   <-chan Envelope
+	pool    []poolEntry // managed as a heap by the node goroutine only
+	table   *ctree.Table
+	outbox  *ctree.Table
+	incum   float64
+	crashed atomic.Bool
+	done    atomic.Bool
+
+	failedReqs   int
+	lastProgress time.Time
+	expanded     int
+}
+
+type poolEntry struct {
+	c     code.Code
+	idx   int32
+	bound float64
+}
+
+// Cluster wires live nodes over a shared transport.
+type Cluster struct {
+	cfg     Config
+	tree    *btree.Tree
+	tr      Net
+	nodes   []*liveNode
+	wg      sync.WaitGroup
+	doneCh  chan NodeID
+	stopAll chan struct{}
+	peersMu sync.Mutex
+	rngMu   sync.Mutex
+	rngSeed int64
+}
+
+// NewCluster builds a cluster solving tree under cfg.
+func NewCluster(tree *btree.Tree, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	tr := cfg.Network
+	if tr == nil {
+		tr = NewTransport(cfg.Seed, cfg.Delay, cfg.Loss)
+	}
+	cl := &Cluster{
+		cfg:     cfg,
+		tree:    tree,
+		tr:      tr,
+		doneCh:  make(chan NodeID, cfg.Nodes),
+		stopAll: make(chan struct{}),
+		rngSeed: cfg.Seed,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		id := NodeID(i)
+		n := &liveNode{
+			id:           id,
+			cl:           cl,
+			inbox:        cl.tr.Register(id),
+			table:        ctree.New(),
+			outbox:       ctree.New(),
+			incum:        math.Inf(1),
+			lastProgress: time.Now(),
+		}
+		cl.nodes = append(cl.nodes, n)
+	}
+	cl.nodes[0].pool = []poolEntry{{c: code.Root(), idx: 0, bound: tree.Nodes[0].Bound}}
+	return cl
+}
+
+// Crash halts a node mid-run.
+func (cl *Cluster) Crash(id NodeID) {
+	if int(id) < len(cl.nodes) {
+		cl.nodes[id].crashed.Store(true)
+		cl.tr.Crash(id)
+	}
+}
+
+// rand returns a pseudo-random int below n, safe for concurrent callers.
+func (cl *Cluster) rand(n int) int {
+	cl.rngMu.Lock()
+	cl.rngSeed = cl.rngSeed*6364136223846793005 + 1442695040888963407
+	v := int(uint64(cl.rngSeed>>33) % uint64(n))
+	cl.rngMu.Unlock()
+	return v
+}
+
+// Run starts every node goroutine and blocks until all live nodes detect
+// termination or the timeout expires.
+func (cl *Cluster) Run() Result {
+	start := time.Now()
+	for _, n := range cl.nodes {
+		cl.wg.Add(1)
+		go n.run()
+	}
+	deadline := time.After(cl.cfg.Timeout)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	timedOut := false
+loop:
+	for {
+		// Crashed nodes never signal, so completion is "every non-crashed
+		// node detected termination", re-checked on every tick.
+		allDone := true
+		for _, n := range cl.nodes {
+			if !n.crashed.Load() && !n.done.Load() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		select {
+		case <-cl.doneCh:
+		case <-tick.C:
+		case <-deadline:
+			timedOut = true
+			break loop
+		}
+	}
+	close(cl.stopAll)
+	cl.wg.Wait()
+	defer cl.tr.Close()
+
+	res := Result{Elapsed: time.Since(start), Optimum: math.Inf(1)}
+	crashedCount := 0
+	terminatedAll := true
+	for _, n := range cl.nodes {
+		res.Expanded += n.expanded
+		if n.crashed.Load() {
+			crashedCount++
+			continue
+		}
+		if n.done.Load() {
+			if n.incum < res.Optimum {
+				res.Optimum = n.incum
+			}
+		} else {
+			terminatedAll = false
+		}
+	}
+	res.Terminated = terminatedAll && crashedCount < len(cl.nodes) && !timedOut
+	res.OptimumOK = res.Terminated && res.Optimum == cl.tree.Stats().Optimum
+	sent, _, bytes := cl.tr.Stats()
+	res.MsgsSent, res.BytesSent = sent, bytes
+	return res
+}
+
+// run is the node goroutine: alternate work and message handling, exactly
+// the process model of §5.
+func (n *liveNode) run() {
+	defer n.cl.wg.Done()
+	for {
+		select {
+		case <-n.cl.stopAll:
+			return
+		default:
+		}
+		if n.crashed.Load() {
+			// A crashed process halts; drain nothing, say nothing.
+			return
+		}
+		if n.done.Load() {
+			// Terminated: keep answering work requests with the root report
+			// so stragglers can terminate too.
+			select {
+			case env := <-n.inbox:
+				if _, ok := env.Msg.(liveRequest); ok {
+					n.cl.tr.Send(n.id, env.From, liveReport{codes: []code.Code{code.Root()}, incumbent: n.incum})
+				}
+			case <-n.cl.stopAll:
+				return
+			}
+			continue
+		}
+		// Handle all pending messages.
+		drained := false
+		for !drained {
+			select {
+			case env := <-n.inbox:
+				n.handle(env)
+			default:
+				drained = true
+			}
+		}
+		if n.table.Complete() {
+			n.terminate()
+			continue
+		}
+		if it, ok := n.popWork(); ok {
+			n.expand(it)
+			continue
+		}
+		n.starve()
+	}
+}
+
+// popWork pops the best pool entry not already completed elsewhere.
+func (n *liveNode) popWork() (poolEntry, bool) {
+	for len(n.pool) > 0 {
+		best := 0
+		for i := range n.pool {
+			if n.pool[i].bound < n.pool[best].bound {
+				best = i
+			}
+		}
+		it := n.pool[best]
+		n.pool = append(n.pool[:best], n.pool[best+1:]...)
+		if n.table.Contains(it.c) {
+			continue
+		}
+		return it, true
+	}
+	return poolEntry{}, false
+}
+
+// expand sleeps the scaled node cost and applies the branching outcome.
+func (n *liveNode) expand(it poolEntry) {
+	tn := &n.cl.tree.Nodes[it.idx]
+	time.Sleep(time.Duration(tn.Cost * n.cl.cfg.TimeScale * float64(time.Second)))
+	if n.crashed.Load() {
+		return
+	}
+	n.expanded++
+	if tn.Feasible && tn.Bound < n.incum {
+		n.incum = tn.Bound
+	}
+	if tn.Leaf() {
+		n.complete(it.c)
+		return
+	}
+	for b := uint8(0); b < 2; b++ {
+		childCode := it.c.Child(tn.BranchVar, b)
+		if n.table.Contains(childCode) {
+			continue
+		}
+		childIdx := tn.Children[b]
+		n.pool = append(n.pool, poolEntry{c: childCode, idx: childIdx, bound: n.cl.tree.Nodes[childIdx].Bound})
+	}
+}
+
+// complete records a completion and ships reports when the batch fills.
+func (n *liveNode) complete(c code.Code) {
+	if changed, err := n.table.Insert(c); err != nil || !changed {
+		return
+	}
+	n.outbox.Insert(c)
+	if n.outbox.Len() >= n.cl.cfg.ReportBatch {
+		n.sendReport()
+	}
+}
+
+func (n *liveNode) sendReport() {
+	codes := n.outbox.Codes()
+	if len(codes) == 0 || len(n.cl.nodes) == 1 {
+		n.outbox = ctree.New()
+		return
+	}
+	n.outbox = ctree.New()
+	msg := liveReport{codes: codes, incumbent: n.incum}
+	for i := 0; i < n.cl.cfg.ReportFanout; i++ {
+		n.cl.tr.Send(n.id, n.randomPeer(), msg)
+	}
+}
+
+func (n *liveNode) randomPeer() NodeID {
+	p := NodeID(n.cl.rand(len(n.cl.nodes) - 1))
+	if p >= n.id {
+		p++
+	}
+	return p
+}
+
+// starve requests work, pushes the table (spreading completion info), and
+// falls back to complement recovery after a quiet period.
+func (n *liveNode) starve() {
+	if len(n.cl.nodes) == 1 {
+		n.recoverLost()
+		return
+	}
+	if n.outbox.Len() > 0 {
+		n.sendReport()
+	}
+	peer := n.randomPeer()
+	n.cl.tr.Send(n.id, peer, liveRequest{incumbent: n.incum})
+	if n.failedReqs > 0 {
+		n.cl.tr.Send(n.id, n.randomPeer(), liveReport{codes: n.table.Codes(), incumbent: n.incum})
+	}
+	// Wait for an answer or anything else.
+	select {
+	case env := <-n.inbox:
+		n.handle(env)
+	case <-time.After(n.cl.cfg.RetryDelay):
+		n.failedReqs++
+	case <-n.cl.stopAll:
+		return
+	}
+	if len(n.pool) == 0 && n.failedReqs >= 3 &&
+		time.Since(n.lastProgress) > n.cl.cfg.RecoveryQuiet {
+		n.recoverLost()
+	}
+}
+
+// recoverLost adopts uncompleted problems from the table complement.
+func (n *liveNode) recoverLost() {
+	for _, c := range n.table.Complement(4) {
+		if idx, ok := n.cl.tree.Locate(c); ok && !n.table.Contains(c) {
+			n.pool = append(n.pool, poolEntry{c: c, idx: idx, bound: n.cl.tree.Nodes[idx].Bound})
+		}
+	}
+}
+
+// handle processes one message.
+func (n *liveNode) handle(env Envelope) {
+	switch t := env.Msg.(type) {
+	case liveReport:
+		if t.incumbent < n.incum {
+			n.incum = t.incumbent
+		}
+		if changed, _ := n.table.InsertAll(t.codes); changed > 0 {
+			n.lastProgress = time.Now()
+		}
+	case liveRequest:
+		if t.incumbent < n.incum {
+			n.incum = t.incumbent
+		}
+		if len(n.pool) >= 2 {
+			k := len(n.pool) / 2
+			if k > 16 {
+				k = 16
+			}
+			var codes []code.Code
+			for i := 0; i < k; i++ {
+				it, ok := n.popWork()
+				if !ok {
+					break
+				}
+				codes = append(codes, it.c)
+			}
+			n.cl.tr.Send(n.id, env.From, liveGrant{codes: codes, incumbent: n.incum})
+		} else {
+			n.cl.tr.Send(n.id, env.From, liveDeny{incumbent: n.incum})
+		}
+	case liveGrant:
+		if t.incumbent < n.incum {
+			n.incum = t.incumbent
+		}
+		got := 0
+		for _, c := range t.codes {
+			if idx, ok := n.cl.tree.Locate(c); ok && !n.table.Contains(c) {
+				n.pool = append(n.pool, poolEntry{c: c, idx: idx, bound: n.cl.tree.Nodes[idx].Bound})
+				got++
+			}
+		}
+		if got > 0 {
+			n.failedReqs = 0
+			n.lastProgress = time.Now()
+		}
+	case liveDeny:
+		if t.incumbent < n.incum {
+			n.incum = t.incumbent
+		}
+		n.failedReqs++
+	}
+}
+
+// terminate broadcasts the root report and signals the cluster.
+func (n *liveNode) terminate() {
+	if n.done.Swap(true) {
+		return
+	}
+	msg := liveReport{codes: []code.Code{code.Root()}, incumbent: n.incum}
+	for i := range n.cl.nodes {
+		if NodeID(i) != n.id {
+			n.cl.tr.Send(n.id, NodeID(i), msg)
+		}
+	}
+	n.cl.doneCh <- n.id
+}

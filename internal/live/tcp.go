@@ -1,0 +1,334 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"gossipbnb/internal/code"
+)
+
+// TCPNetwork runs the live protocol over real TCP sockets on the loopback
+// interface: one listener per node, lazily dialed connections, and a
+// length-prefixed binary wire format. It is the closest in-process stand-in
+// for the paper's "collection of Internet-connected computers".
+type TCPNetwork struct {
+	mu      sync.Mutex
+	addrs   map[NodeID]string
+	lns     map[NodeID]net.Listener
+	inboxes map[NodeID]chan Envelope
+	conns   map[[2]NodeID]*tcpConn // (from, to) -> outbound connection
+	crashed map[NodeID]bool
+	closed  bool
+	sent    int64
+	dropped int64
+	bytes   int64
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCPNetwork creates listeners for node IDs 0..n-1 on 127.0.0.1 and
+// starts their accept loops.
+func NewTCPNetwork(n int) (*TCPNetwork, error) {
+	t := &TCPNetwork{
+		addrs:   map[NodeID]string{},
+		lns:     map[NodeID]net.Listener{},
+		inboxes: map[NodeID]chan Envelope{},
+		conns:   map[[2]NodeID]*tcpConn{},
+		crashed: map[NodeID]bool{},
+	}
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("live: listen for node %d: %w", i, err)
+		}
+		t.lns[id] = ln
+		t.addrs[id] = ln.Addr().String()
+		t.inboxes[id] = make(chan Envelope, 4096)
+		t.wg.Add(1)
+		go t.acceptLoop(id, ln)
+	}
+	return t, nil
+}
+
+// Addr returns the listen address of a node, for tests and tooling.
+func (t *TCPNetwork) Addr(id NodeID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[id]
+}
+
+// Register implements Net. The inboxes were created at construction; it
+// just hands out the channel.
+func (t *TCPNetwork) Register(id NodeID) <-chan Envelope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inboxes[id]
+}
+
+// Crash implements Net: the node's listener and connections close, so
+// in-flight and future traffic to it is dropped by the kernel, exactly like
+// a machine halting.
+func (t *TCPNetwork) Crash(id NodeID) {
+	t.mu.Lock()
+	t.crashed[id] = true
+	ln := t.lns[id]
+	var victims []*tcpConn
+	for key, c := range t.conns {
+		if key[0] == id || key[1] == id {
+			victims = append(victims, c)
+			delete(t.conns, key)
+		}
+	}
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range victims {
+		c.c.Close()
+	}
+}
+
+// Crashed implements Net.
+func (t *TCPNetwork) Crashed(id NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.crashed[id]
+}
+
+// Stats implements Net.
+func (t *TCPNetwork) Stats() (sent, dropped, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sent, t.dropped, t.bytes
+}
+
+// Close implements Net: shuts every listener and connection down and waits
+// for reader goroutines to drain.
+func (t *TCPNetwork) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	lns := make([]net.Listener, 0, len(t.lns))
+	for _, ln := range t.lns {
+		lns = append(lns, ln)
+	}
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.conns = map[[2]NodeID]*tcpConn{}
+	t.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+	t.wg.Wait()
+}
+
+// acceptLoop serves one node's listener: each accepted connection feeds the
+// node's inbox until it drops.
+func (t *TCPNetwork) acceptLoop(id NodeID, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (crash or shutdown)
+		}
+		t.wg.Add(1)
+		go t.readLoop(id, conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection into the inbox.
+func (t *TCPNetwork) readLoop(to NodeID, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		dead := t.crashed[to] || t.closed
+		ch := t.inboxes[to]
+		t.mu.Unlock()
+		if dead {
+			return
+		}
+		select {
+		case ch <- env:
+		default: // inbox overflow: drop, like a congested receiver
+		}
+	}
+}
+
+// Send implements Net: marshal and write one frame, dialing on demand. Any
+// error drops the message silently — the asynchronous model allows loss.
+func (t *TCPNetwork) Send(from, to NodeID, msg Message) {
+	t.mu.Lock()
+	if t.closed || t.crashed[from] || t.crashed[to] {
+		t.mu.Unlock()
+		return
+	}
+	t.sent++
+	t.bytes += int64(msg.Size())
+	key := [2]NodeID{from, to}
+	c := t.conns[key]
+	addr := t.addrs[to]
+	t.mu.Unlock()
+
+	if c == nil {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.drop()
+			return
+		}
+		c = &tcpConn{c: conn}
+		t.mu.Lock()
+		if prev := t.conns[key]; prev != nil {
+			// Lost the race; use the established connection.
+			t.mu.Unlock()
+			conn.Close()
+			c = prev
+		} else if t.closed || t.crashed[to] {
+			t.mu.Unlock()
+			conn.Close()
+			t.drop()
+			return
+		} else {
+			t.conns[key] = c
+			t.mu.Unlock()
+		}
+	}
+
+	frame, err := appendFrame(nil, from, msg)
+	if err != nil {
+		t.drop()
+		return
+	}
+	c.mu.Lock()
+	_, werr := c.c.Write(frame)
+	c.mu.Unlock()
+	if werr != nil {
+		t.drop()
+		t.mu.Lock()
+		if t.conns[key] == c {
+			delete(t.conns, key)
+		}
+		t.mu.Unlock()
+		c.c.Close()
+	}
+}
+
+func (t *TCPNetwork) drop() {
+	t.mu.Lock()
+	t.dropped++
+	t.mu.Unlock()
+}
+
+// --- wire format ---------------------------------------------------------------
+//
+// frame  := u32(len) body           (len = length of body)
+// body   := u8(type) uvarint(from) f64(incumbent) [codes]
+// codes  := code.AppendAll encoding (report and grant only)
+
+const (
+	frameReport byte = iota + 1
+	frameRequest
+	frameGrant
+	frameDeny
+)
+
+// maxFrame bounds a frame body; far above any real table push, it only
+// guards against corrupt length prefixes.
+const maxFrame = 16 << 20
+
+// appendFrame marshals one message as a frame.
+func appendFrame(dst []byte, from NodeID, msg Message) ([]byte, error) {
+	var body []byte
+	put := func(kind byte, incumbent float64, codes []code.Code) {
+		body = append(body, kind)
+		body = binary.AppendUvarint(body, uint64(from))
+		body = binary.LittleEndian.AppendUint64(body, math.Float64bits(incumbent))
+		if kind == frameReport || kind == frameGrant {
+			body = code.AppendAll(body, codes)
+		}
+	}
+	switch m := msg.(type) {
+	case liveReport:
+		put(frameReport, m.incumbent, m.codes)
+	case liveRequest:
+		put(frameRequest, m.incumbent, nil)
+	case liveGrant:
+		put(frameGrant, m.incumbent, m.codes)
+	case liveDeny:
+		put(frameDeny, m.incumbent, nil)
+	default:
+		return nil, fmt.Errorf("live: cannot marshal %T", msg)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...), nil
+}
+
+// readFrame reads and unmarshals one frame.
+func readFrame(r io.Reader) (Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Envelope{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrame {
+		return Envelope{}, fmt.Errorf("live: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Envelope{}, err
+	}
+	kind := body[0]
+	rest := body[1:]
+	from, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return Envelope{}, fmt.Errorf("live: bad frame sender")
+	}
+	rest = rest[k:]
+	if len(rest) < 8 {
+		return Envelope{}, fmt.Errorf("live: truncated frame")
+	}
+	incumbent := math.Float64frombits(binary.LittleEndian.Uint64(rest[:8]))
+	rest = rest[8:]
+	env := Envelope{From: NodeID(from)}
+	switch kind {
+	case frameReport, frameGrant:
+		codes, _, err := code.DecodeAll(rest)
+		if err != nil {
+			return Envelope{}, fmt.Errorf("live: frame codes: %w", err)
+		}
+		if kind == frameReport {
+			env.Msg = liveReport{codes: codes, incumbent: incumbent}
+		} else {
+			env.Msg = liveGrant{codes: codes, incumbent: incumbent}
+		}
+	case frameRequest:
+		env.Msg = liveRequest{incumbent: incumbent}
+	case frameDeny:
+		env.Msg = liveDeny{incumbent: incumbent}
+	default:
+		return Envelope{}, fmt.Errorf("live: unknown frame type %d", kind)
+	}
+	return env, nil
+}

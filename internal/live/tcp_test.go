@@ -1,0 +1,214 @@
+package live
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gossipbnb/internal/btree"
+	"gossipbnb/internal/code"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	codes := []code.Code{
+		code.Root(),
+		code.Root().Child(1, 0).Child(2, 1),
+	}
+	cases := []Message{
+		liveReport{codes: codes, incumbent: 3.5},
+		liveRequest{incumbent: math.Inf(1)},
+		liveGrant{codes: codes[1:], incumbent: -2},
+		liveDeny{incumbent: 0},
+	}
+	for _, msg := range cases {
+		frame, err := appendFrame(nil, 7, msg)
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		env, err := readFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%T: read: %v", msg, err)
+		}
+		if env.From != 7 {
+			t.Errorf("%T: From = %d", msg, env.From)
+		}
+		switch want := msg.(type) {
+		case liveReport:
+			got := env.Msg.(liveReport)
+			if got.incumbent != want.incumbent || len(got.codes) != len(want.codes) {
+				t.Errorf("report mismatch: %+v vs %+v", got, want)
+			}
+			for i := range want.codes {
+				if !got.codes[i].Equal(want.codes[i]) {
+					t.Errorf("report code %d mismatch", i)
+				}
+			}
+		case liveRequest:
+			if env.Msg.(liveRequest).incumbent != want.incumbent {
+				t.Error("request incumbent mismatch")
+			}
+		case liveGrant:
+			got := env.Msg.(liveGrant)
+			if len(got.codes) != len(want.codes) {
+				t.Error("grant codes mismatch")
+			}
+		case liveDeny:
+			if env.Msg.(liveDeny).incumbent != want.incumbent {
+				t.Error("deny incumbent mismatch")
+			}
+		}
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	if _, err := readFrame(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Zero-length frame.
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	// Implausible length.
+	if _, err := readFrame(bytes.NewReader([]byte{255, 255, 255, 255})); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Unknown type.
+	frame, _ := appendFrame(nil, 1, liveDeny{})
+	frame[4] = 99
+	if _, err := readFrame(bytes.NewReader(frame)); err == nil {
+		t.Error("unknown frame type accepted")
+	}
+	if _, err := appendFrame(nil, 1, nil); err == nil {
+		t.Error("nil message marshalled")
+	}
+}
+
+func TestTCPDelivery(t *testing.T) {
+	nw, err := NewTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	inbox := nw.Register(1)
+	nw.Send(0, 1, liveDeny{incumbent: 42})
+	select {
+	case env := <-inbox:
+		if env.From != 0 {
+			t.Errorf("From = %d", env.From)
+		}
+		if got := env.Msg.(liveDeny).incumbent; got != 42 {
+			t.Errorf("incumbent = %g", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery over TCP")
+	}
+	sent, _, _ := nw.Stats()
+	if sent != 1 {
+		t.Errorf("sent = %d", sent)
+	}
+	if nw.Addr(0) == "" || nw.Addr(1) == "" {
+		t.Error("missing listen addresses")
+	}
+}
+
+func TestTCPManyMessagesOneConnection(t *testing.T) {
+	nw, err := NewTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	inbox := nw.Register(1)
+	const n = 500
+	for i := 0; i < n; i++ {
+		nw.Send(0, 1, liveRequest{incumbent: float64(i)})
+	}
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for got < n {
+		select {
+		case <-inbox:
+			got++
+		case <-deadline:
+			t.Fatalf("received %d of %d", got, n)
+		}
+	}
+}
+
+func TestTCPCrashSilences(t *testing.T) {
+	nw, err := NewTCPNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	inbox := nw.Register(1)
+	nw.Crash(1)
+	nw.Send(0, 1, liveDeny{})
+	select {
+	case <-inbox:
+		t.Error("delivered to crashed node")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if !nw.Crashed(1) {
+		t.Error("Crashed(1) = false")
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	tr := liveTree(21, 301)
+	nw, err := NewTCPNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewCluster(tr, Config{
+		Nodes: 4, Seed: 21, TimeScale: 0.0005,
+		Network: nw,
+		Timeout: 60 * time.Second,
+	})
+	res := cl.Run()
+	if !res.Terminated || !res.OptimumOK {
+		t.Fatalf("TCP cluster failed: %+v", res)
+	}
+	if res.MsgsSent == 0 {
+		t.Error("no TCP traffic")
+	}
+}
+
+func TestClusterOverTCPWithCrashes(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	tr := btree.Random(r, btree.RandomConfig{
+		Size:         301,
+		Cost:         btree.CostModel{Mean: 0.02, Sigma: 0.3},
+		BoundSpread:  1,
+		FeasibleProb: 0.1,
+	})
+	nw, err := NewTCPNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewCluster(tr, Config{
+		Nodes: 3, Seed: 22, TimeScale: 0.002,
+		Network:       nw,
+		RecoveryQuiet: 25 * time.Millisecond,
+		Timeout:       60 * time.Second,
+	})
+	time.AfterFunc(60*time.Millisecond, func() { cl.Crash(1) })
+	time.AfterFunc(70*time.Millisecond, func() { cl.Crash(2) })
+	res := cl.Run()
+	if !res.Terminated || !res.OptimumOK {
+		t.Fatalf("TCP survivor failed: %+v", res)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	nw, err := NewTCPNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Close()
+	nw.Close() // must not panic or deadlock
+	nw.Send(0, 0, liveDeny{})
+	_, dropped, _ := nw.Stats()
+	_ = dropped // sends after close are silently refused
+}

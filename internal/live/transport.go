@@ -1,0 +1,144 @@
+// Package live runs the paper's algorithm on real goroutines and channels
+// instead of the virtual-time simulator: each process is a goroutine, each
+// message a value on a channel, delays and losses are injected by an
+// in-memory transport. This is the "real implementation" the paper defers
+// (§6: "We use simulations rather than a real implementation...") — the same
+// protocol logic, subjected to genuine concurrency and the race detector.
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a live node.
+type NodeID int
+
+// Message is any payload exchanged between nodes.
+type Message interface{ Size() int }
+
+// Envelope wraps a delivered message with its sender.
+type Envelope struct {
+	From NodeID
+	Msg  Message
+}
+
+// Net is the transport a Cluster runs over: the in-memory Transport for
+// single-process experiments, or TCPNetwork for real sockets.
+type Net interface {
+	// Register creates the inbox for id and returns its receive channel.
+	Register(id NodeID) <-chan Envelope
+	// Send queues msg for asynchronous delivery; it must never block the
+	// caller and may drop silently (loss, crash, congestion).
+	Send(from, to NodeID, msg Message)
+	// Crash halts id: messages to and from it vanish.
+	Crash(id NodeID)
+	// Crashed reports whether id halted.
+	Crashed(id NodeID) bool
+	// Stats returns (messages sent, messages dropped, payload bytes).
+	Stats() (sent, dropped, bytes int64)
+	// Close releases transport resources after the run.
+	Close()
+}
+
+var _ Net = (*Transport)(nil)
+
+// Transport is an in-memory lossy, delaying network. It is safe for
+// concurrent use.
+type Transport struct {
+	mu      sync.Mutex
+	inboxes map[NodeID]chan Envelope
+	crashed map[NodeID]bool
+	rng     *rand.Rand
+	delay   func(bytes int) time.Duration
+	loss    float64
+	sent    int64
+	dropped int64
+	bytes   int64
+}
+
+// NewTransport creates a transport. delay maps message size to one-way
+// latency (nil = none); loss is the independent drop probability.
+func NewTransport(seed int64, delay func(bytes int) time.Duration, loss float64) *Transport {
+	return &Transport{
+		inboxes: map[NodeID]chan Envelope{},
+		crashed: map[NodeID]bool{},
+		rng:     rand.New(rand.NewSource(seed)),
+		delay:   delay,
+		loss:    loss,
+	}
+}
+
+// Register creates the inbox for id and returns it.
+func (t *Transport) Register(id NodeID) <-chan Envelope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ch := make(chan Envelope, 4096)
+	t.inboxes[id] = ch
+	return ch
+}
+
+// Crash marks id as halted: messages to and from it vanish.
+func (t *Transport) Crash(id NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.crashed[id] = true
+}
+
+// Crashed reports whether id halted.
+func (t *Transport) Crashed(id NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.crashed[id]
+}
+
+// Send queues msg for delivery. Lost messages, crashed endpoints, and full
+// inboxes all drop silently — the asynchronous model of §4.
+func (t *Transport) Send(from, to NodeID, msg Message) {
+	t.mu.Lock()
+	if t.crashed[from] || t.crashed[to] {
+		t.mu.Unlock()
+		return
+	}
+	t.sent++
+	t.bytes += int64(msg.Size())
+	if t.loss > 0 && t.rng.Float64() < t.loss {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	ch := t.inboxes[to]
+	var d time.Duration
+	if t.delay != nil {
+		d = t.delay(msg.Size())
+	}
+	t.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	deliver := func() {
+		if t.Crashed(to) {
+			return
+		}
+		select {
+		case ch <- Envelope{From: from, Msg: msg}:
+		default: // inbox overflow: drop, like a congested link
+		}
+	}
+	if d <= 0 {
+		deliver()
+		return
+	}
+	time.AfterFunc(d, deliver)
+}
+
+// Stats returns (messages sent, messages dropped, payload bytes).
+func (t *Transport) Stats() (sent, dropped, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sent, t.dropped, t.bytes
+}
+
+// Close implements Net; the in-memory transport holds no resources.
+func (t *Transport) Close() {}

@@ -1,0 +1,259 @@
+// Package member implements the group membership protocol of §5.2: a
+// gossip-style protocol inspired by the failure-detection service of van
+// Renesse, Minsky and Hayden. Each member maintains a view — the set of
+// processes it believes are in the group, with a log of when it last heard
+// of each — and periodically gossips heartbeat counters to randomly chosen
+// members. New members announce themselves to gossip servers: ordinary
+// members of which at least one is guaranteed to be alive at any moment,
+// whose main task is to propagate information about newly arrived members.
+//
+// Consistent views are impossible in asynchronous unreliable systems
+// (Chandra et al.), and the paper's algorithm does not need them: the view
+// only has to be good enough to pick gossip and load-balancing partners.
+package member
+
+import (
+	"sort"
+
+	"gossipbnb/internal/sim"
+)
+
+// Config tunes the protocol. The paper chooses these "to keep communication
+// and the probability of false membership information under some threshold
+// values".
+type Config struct {
+	// GossipInterval is the virtual time between heartbeat gossip rounds.
+	GossipInterval float64
+	// Fanout is how many random members receive each gossip message.
+	Fanout int
+	// FailTimeout is how long a member may stay silent (no direct or
+	// indirect heartbeat progress) before it is suspected failed and
+	// dropped from the view.
+	FailTimeout float64
+}
+
+// DefaultConfig returns moderate settings: gossip every second, declare
+// failure after 10 missed intervals.
+func DefaultConfig() Config {
+	return Config{GossipInterval: 1, Fanout: 1, FailTimeout: 10}
+}
+
+// entry is what a member knows about a peer.
+type entry struct {
+	heartbeat uint64
+	lastHeard float64 // local virtual time of last heartbeat progress
+}
+
+// viewMessage carries heartbeat state; joinMessage announces a new member to
+// a gossip server.
+type viewMessage struct {
+	pairs []hbPair
+}
+
+type hbPair struct {
+	id sim.NodeID
+	hb uint64
+}
+
+// Size implements sim.Message: ~10 bytes per (id, heartbeat) pair.
+func (m viewMessage) Size() int { return 1 + 10*len(m.pairs) }
+
+type joinMessage struct{ id sim.NodeID }
+
+// Size implements sim.Message.
+func (m joinMessage) Size() int { return 5 }
+
+// IsProtocolMessage reports whether msg belongs to the membership protocol,
+// so applications multiplexing a node's network handler can route it to
+// Deliver.
+func IsProtocolMessage(msg sim.Message) bool {
+	switch msg.(type) {
+	case joinMessage, viewMessage:
+		return true
+	}
+	return false
+}
+
+// Member is one participant in the membership protocol.
+type Member struct {
+	id      sim.NodeID
+	k       *sim.Kernel
+	nw      *sim.Network
+	cfg     Config
+	servers []sim.NodeID // known gossip servers
+	entries map[sim.NodeID]*entry
+	// dead records evicted members and the heartbeat they were last seen
+	// with, so a stale relay from a slower peer cannot flap them back into
+	// the view. A direct join or genuine heartbeat progress clears the entry.
+	dead  map[sim.NodeID]uint64
+	hb    uint64
+	alive bool
+	// OnJoin and OnLeave, if non-nil, observe view changes.
+	OnJoin  func(sim.NodeID)
+	OnLeave func(sim.NodeID)
+}
+
+// New creates a member. servers are the well-known gossip servers the member
+// contacts on Join; a gossip server passes its own ID. The caller must route
+// incoming messages to Deliver.
+func New(k *sim.Kernel, nw *sim.Network, id sim.NodeID, servers []sim.NodeID, cfg Config) *Member {
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 1
+	}
+	if cfg.Fanout < 1 {
+		cfg.Fanout = 1
+	}
+	if cfg.FailTimeout <= 0 {
+		cfg.FailTimeout = 10 * cfg.GossipInterval
+	}
+	return &Member{
+		id: id, k: k, nw: nw, cfg: cfg,
+		servers: append([]sim.NodeID(nil), servers...),
+		entries: map[sim.NodeID]*entry{},
+		dead:    map[sim.NodeID]uint64{},
+	}
+}
+
+// Join enters the group: the member announces itself to every known gossip
+// server and starts gossiping heartbeats.
+func (m *Member) Join() {
+	m.alive = true
+	m.entries[m.id] = &entry{heartbeat: 0, lastHeard: m.k.Now()}
+	for _, s := range m.servers {
+		if s != m.id {
+			m.nw.Send(m.id, s, joinMessage{id: m.id})
+		}
+	}
+	m.k.After(m.cfg.GossipInterval, m.round)
+}
+
+// Leave exits the group silently; peers will time the member out, exactly as
+// if it had failed (§5.2: a process leaves either by leaving or by failing).
+func (m *Member) Leave() { m.alive = false }
+
+// Alive reports whether the member is participating.
+func (m *Member) Alive() bool { return m.alive }
+
+// View returns the members currently believed alive, in ascending order,
+// including the member itself.
+func (m *Member) View() []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(m.entries))
+	for id := range m.entries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Peers returns the view without the member itself — the candidate set for
+// gossip and work requests.
+func (m *Member) Peers() []sim.NodeID {
+	out := m.View()
+	for i, id := range out {
+		if id == m.id {
+			return append(out[:i], out[i+1:]...)
+		}
+	}
+	return out
+}
+
+// Knows reports whether id is in the current view.
+func (m *Member) Knows(id sim.NodeID) bool {
+	_, ok := m.entries[id]
+	return ok
+}
+
+// Deliver handles an incoming protocol message.
+func (m *Member) Deliver(from sim.NodeID, msg sim.Message) {
+	if !m.alive {
+		return
+	}
+	switch t := msg.(type) {
+	case joinMessage:
+		// A join is a direct message from the node itself, so it counts as
+		// hearing from it regardless of heartbeat progress.
+		m.bump(t.id, 0, true)
+	case viewMessage:
+		for _, p := range t.pairs {
+			m.bump(p.id, p.hb, false)
+		}
+	}
+}
+
+// bump merges one heartbeat observation. Indirect observations refresh
+// lastHeard only on strict heartbeat progress: a relayed stale heartbeat
+// must not keep a dead member alive forever.
+func (m *Member) bump(id sim.NodeID, hb uint64, direct bool) {
+	if id == m.id {
+		return
+	}
+	e, ok := m.entries[id]
+	if !ok {
+		if deadHb, wasDead := m.dead[id]; wasDead && !direct && hb <= deadHb {
+			return // stale relay of an evicted member
+		}
+		delete(m.dead, id)
+		m.entries[id] = &entry{heartbeat: hb, lastHeard: m.k.Now()}
+		if m.OnJoin != nil {
+			m.OnJoin(id)
+		}
+		return
+	}
+	if hb > e.heartbeat {
+		e.heartbeat = hb
+		e.lastHeard = m.k.Now()
+	} else if direct {
+		e.lastHeard = m.k.Now()
+	}
+}
+
+// round advances the member's own heartbeat, expires silent peers, and
+// gossips the view to Fanout random peers.
+func (m *Member) round() {
+	if !m.alive || m.nw.Crashed(m.id) {
+		return
+	}
+	m.hb++
+	m.entries[m.id].heartbeat = m.hb
+	m.entries[m.id].lastHeard = m.k.Now()
+	// Expire peers that have made no heartbeat progress within FailTimeout.
+	for id, e := range m.entries {
+		if id == m.id {
+			continue
+		}
+		if m.k.Now()-e.lastHeard > m.cfg.FailTimeout {
+			m.dead[id] = e.heartbeat
+			delete(m.entries, id)
+			if m.OnLeave != nil {
+				m.OnLeave(id)
+			}
+		}
+	}
+	peers := m.Peers()
+	if len(peers) == 0 {
+		// Still isolated: the join announcement may have been lost (§4
+		// allows it). Retry the gossip servers until someone answers.
+		for _, s := range m.servers {
+			if s != m.id {
+				m.nw.Send(m.id, s, joinMessage{id: m.id})
+			}
+		}
+	} else {
+		msg := m.snapshot()
+		for i := 0; i < m.cfg.Fanout; i++ {
+			to := peers[m.k.Rand().Intn(len(peers))]
+			m.nw.Send(m.id, to, msg)
+		}
+	}
+	m.k.After(m.cfg.GossipInterval, m.round)
+}
+
+// snapshot encodes the view as heartbeat pairs, deterministically ordered.
+func (m *Member) snapshot() viewMessage {
+	pairs := make([]hbPair, 0, len(m.entries))
+	for id, e := range m.entries {
+		pairs = append(pairs, hbPair{id: id, hb: e.heartbeat})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+	return viewMessage{pairs: pairs}
+}

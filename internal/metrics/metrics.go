@@ -1,0 +1,176 @@
+// Package metrics implements the cost accounting of the paper's evaluation
+// (§6.3): per-process execution time split into branch-and-bound work,
+// communication handling, list contraction, load balancing, and idle time;
+// message and byte counters; storage accounting for the replicated
+// completed-problem tables (total and redundant); and redundant-work
+// counters.
+package metrics
+
+import "fmt"
+
+// Activity labels where a process's virtual time goes. The five categories
+// are exactly the stacked bars of Figure 3.
+type Activity int
+
+// Activities, in the order the paper stacks them.
+const (
+	BB       Activity = iota // bounding + expanding subproblems
+	Comm                     // packing, sending, and handling messages
+	Contract                 // merging and contracting completed-code tables
+	LB                       // requesting and transferring work
+	Idle                     // nothing to do
+	numActivities
+)
+
+// String returns the paper's label for the activity.
+func (a Activity) String() string {
+	switch a {
+	case BB:
+		return "BB time"
+	case Comm:
+		return "Communication time"
+	case Contract:
+		return "List Contraction time"
+	case LB:
+		return "LB time"
+	case Idle:
+		return "Idle time"
+	}
+	return fmt.Sprintf("Activity(%d)", int(a))
+}
+
+// Breakdown is a per-process split of virtual time by activity.
+type Breakdown struct {
+	t [numActivities]float64
+}
+
+// Add accrues d seconds to activity a. Negative durations panic: they would
+// silently corrupt the percentages.
+func (b *Breakdown) Add(a Activity, d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("metrics: negative duration %g for %v", d, a))
+	}
+	b.t[a] += d
+}
+
+// Get returns the seconds accrued to a.
+func (b Breakdown) Get(a Activity) float64 { return b.t[a] }
+
+// Total returns the sum over all activities.
+func (b Breakdown) Total() float64 {
+	s := 0.0
+	for _, v := range b.t {
+		s += v
+	}
+	return s
+}
+
+// Percent returns a's share of the total, in percent (0 if the total is 0).
+func (b Breakdown) Percent(a Activity) float64 {
+	tot := b.Total()
+	if tot == 0 {
+		return 0
+	}
+	return 100 * b.t[a] / tot
+}
+
+// Merge adds o into b.
+func (b *Breakdown) Merge(o *Breakdown) {
+	for i := range b.t {
+		b.t[i] += o.t[i]
+	}
+}
+
+// Node aggregates everything measured about one simulated process.
+type Node struct {
+	Breakdown
+	Expanded      int   // subproblems whose cost this node paid
+	Redundant     int   // expansions of subproblems some node had already completed
+	ReportsSent   int   // work-report messages sent
+	ReportCodes   int   // codes carried by those reports (after compression)
+	ReportedComps int   // completions covered by flushed reports (before compression)
+	TablesSent    int   // full-table gossip messages sent
+	WorkSent      int   // subproblems shipped to requesters
+	WorkRequests  int   // work-request messages sent
+	Recoveries    int   // complement-based recoveries triggered
+	PeakTableSize int   // bytes, max over time of the local table encoding
+	PeakPool      int   // max active problems held at once
+	BytesSent     int64 // payload bytes (mirror of the network's per-sender count)
+}
+
+// ObserveTable records the current wire size of the node's table, tracking
+// the peak. Storage in the paper is the space used to store completed-code
+// information across the whole system.
+func (n *Node) ObserveTable(bytes int) {
+	if bytes > n.PeakTableSize {
+		n.PeakTableSize = bytes
+	}
+}
+
+// System aggregates per-node metrics plus the global storage view.
+type System struct {
+	Nodes []Node
+	// UniquePeak is the peak wire size of the union of all completed-code
+	// information, i.e. the storage a single perfectly shared copy would
+	// need. TotalStorage − UniquePeak is the paper's "redundant" storage.
+	UniquePeak int
+}
+
+// NewSystem returns a System sized for n nodes.
+func NewSystem(n int) *System { return &System{Nodes: make([]Node, n)} }
+
+// TotalStorage sums per-node peak table sizes: the system-wide space devoted
+// to completed-problem bookkeeping.
+func (s *System) TotalStorage() int {
+	tot := 0
+	for i := range s.Nodes {
+		tot += s.Nodes[i].PeakTableSize
+	}
+	return tot
+}
+
+// RedundantStorage is the storage beyond one shared copy of the union.
+func (s *System) RedundantStorage() int {
+	r := s.TotalStorage() - s.UniquePeak
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// ObserveUnique records the current wire size of the global union table.
+func (s *System) ObserveUnique(bytes int) {
+	if bytes > s.UniquePeak {
+		s.UniquePeak = bytes
+	}
+}
+
+// TotalExpanded sums node expansions.
+func (s *System) TotalExpanded() int {
+	t := 0
+	for i := range s.Nodes {
+		t += s.Nodes[i].Expanded
+	}
+	return t
+}
+
+// TotalRedundant sums redundant expansions.
+func (s *System) TotalRedundant() int {
+	t := 0
+	for i := range s.Nodes {
+		t += s.Nodes[i].Redundant
+	}
+	return t
+}
+
+// AggregateBreakdown sums the per-node breakdowns.
+func (s *System) AggregateBreakdown() Breakdown {
+	var b Breakdown
+	for i := range s.Nodes {
+		b.Merge(&s.Nodes[i].Breakdown)
+	}
+	return b
+}
+
+// MB converts bytes to megabytes (10^6, as the paper reports).
+func MB(bytes int64) float64 { return float64(bytes) / 1e6 }

@@ -1,0 +1,128 @@
+// Package sim is a deterministic discrete-event simulation kernel, the
+// substitute for the Parsec simulation language the paper used (§6.2).
+// Processes are modeled by objects whose interactions are timestamped
+// message exchanges; virtual time advances from event to event, so 75
+// simulated hours of B&B cost only as much wall-clock time as the events
+// they contain.
+//
+// Determinism: a single seeded random source drives every stochastic choice
+// (latencies, loss, peer selection through user code), and simultaneous
+// events fire in schedule order, so a given (scenario, seed) pair always
+// produces the same run — unlike the original Parsec experiments, ours are
+// exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// Kernel is the event scheduler. Create one with New, schedule events with
+// At/After, then call Run. A Kernel is single-goroutine by construction.
+type Kernel struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	fired  uint64
+}
+
+// New returns a kernel at virtual time 0 with a deterministic random source.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Rand returns the kernel's random source. All stochastic decisions in a
+// simulation must draw from it to keep runs reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Events returns the number of events fired so far.
+func (k *Kernel) Events() uint64 { return k.fired }
+
+// Event is a handle to a scheduled event; Cancel prevents it from firing.
+type Event struct{ cancelled bool }
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired
+// event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (k *Kernel) At(t float64, fn func()) *Event {
+	if t < k.now {
+		panic("sim: scheduling into the past")
+	}
+	ev := &event{time: t, seq: k.seq, fn: fn, handle: &Event{}}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return ev.handle
+}
+
+// After schedules fn d seconds from now.
+func (k *Kernel) After(d float64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Run fires events in timestamp order until the queue drains or virtual time
+// would exceed until (use math.Inf(1) for no limit). It returns the final
+// virtual time.
+func (k *Kernel) Run(until float64) float64 {
+	for len(k.events) > 0 {
+		next := k.events[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&k.events)
+		if next.handle.cancelled {
+			continue
+		}
+		k.now = next.time
+		k.fired++
+		next.fn()
+	}
+	if math.IsInf(until, 1) || k.now > until {
+		return k.now
+	}
+	return k.now
+}
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+type event struct {
+	time   float64
+	seq    uint64
+	fn     func()
+	handle *Event
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

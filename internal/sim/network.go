@@ -1,0 +1,173 @@
+package sim
+
+import "fmt"
+
+// NodeID identifies a simulated process.
+type NodeID int
+
+// Message is a network payload. Size drives the communication-cost model;
+// implementations should report their wire size, not their in-memory size.
+type Message interface{ Size() int }
+
+// Handler receives delivered messages.
+type Handler func(from NodeID, msg Message)
+
+// LatencyModel maps a message size in bytes to a one-way delay in seconds.
+type LatencyModel func(bytes int) float64
+
+// LinearLatency returns the paper's communication model: base + perByte·L,
+// both in seconds. The paper's experiments use 1.5 ms + 0.005 ms/byte —
+// PaperLatency.
+func LinearLatency(base, perByte float64) LatencyModel {
+	return func(bytes int) float64 { return base + perByte*float64(bytes) }
+}
+
+// PaperLatency is the model used throughout the paper's evaluation:
+// 1.5 + 0.005·L milliseconds for messages of size L bytes.
+func PaperLatency() LatencyModel { return LinearLatency(1.5e-3, 5e-6) }
+
+// partition is a temporary network partition: during [start, end), nodes
+// inside the group cannot exchange messages with nodes outside it.
+type partition struct {
+	start, end float64
+	group      map[NodeID]bool
+}
+
+// NetStats aggregates network activity.
+type NetStats struct {
+	Sent      int64 // messages handed to the network
+	Delivered int64
+	Lost      int64 // dropped by the loss model
+	Cut       int64 // dropped by a partition
+	ToDead    int64 // addressed to a crashed node
+	Bytes     int64 // payload bytes of sent messages
+}
+
+// Network delivers messages between registered nodes under a latency model,
+// optional uniform loss, crash failures, and temporary partitions — the
+// target-architecture assumptions of §4: unbounded delivery time, possible
+// loss, no corruption or duplication.
+type Network struct {
+	k         *Kernel
+	latency   LatencyModel
+	lossProb  float64
+	handlers  map[NodeID]Handler
+	crashed   map[NodeID]bool
+	parts     []partition
+	stats     NetStats
+	sentBytes map[NodeID]int64 // per-sender payload bytes
+	sentMsgs  map[NodeID]int64
+}
+
+// NewNetwork creates a network on k with the given latency model.
+// A nil model means zero latency.
+func NewNetwork(k *Kernel, latency LatencyModel) *Network {
+	if latency == nil {
+		latency = func(int) float64 { return 0 }
+	}
+	return &Network{
+		k:         k,
+		latency:   latency,
+		handlers:  map[NodeID]Handler{},
+		crashed:   map[NodeID]bool{},
+		sentBytes: map[NodeID]int64{},
+		sentMsgs:  map[NodeID]int64{},
+	}
+}
+
+// SetLoss sets the independent per-message loss probability.
+func (n *Network) SetLoss(p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("sim: loss probability %g out of [0,1]", p))
+	}
+	n.lossProb = p
+}
+
+// Register installs the message handler for id. Registering twice panics —
+// it would hide a scenario wiring bug.
+func (n *Network) Register(id NodeID, h Handler) {
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("sim: node %d registered twice", id))
+	}
+	n.handlers[id] = h
+}
+
+// Crash marks id as halted (the Crash failure model of §4: a processor fails
+// by halting and stays halted). Messages to and from it vanish; its handler
+// never runs again.
+func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+
+// Crashed reports whether id has halted.
+func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
+
+// AddPartition isolates group from the rest of the network during
+// [start, end) of virtual time.
+func (n *Network) AddPartition(start, end float64, group []NodeID) {
+	g := make(map[NodeID]bool, len(group))
+	for _, id := range group {
+		g[id] = true
+	}
+	n.parts = append(n.parts, partition{start: start, end: end, group: g})
+}
+
+// separated reports whether a partition currently cuts the (a, b) link.
+func (n *Network) separated(a, b NodeID, t float64) bool {
+	for _, p := range n.parts {
+		if t >= p.start && t < p.end && p.group[a] != p.group[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// Send queues msg for delivery from -> to under the latency model. Sends
+// from or to crashed nodes, lost messages, and partitioned links all vanish
+// silently — exactly the asynchronous model the algorithm must tolerate.
+func (n *Network) Send(from, to NodeID, msg Message) {
+	if n.crashed[from] {
+		return
+	}
+	n.stats.Sent++
+	sz := msg.Size()
+	n.stats.Bytes += int64(sz)
+	n.sentBytes[from] += int64(sz)
+	n.sentMsgs[from]++
+	if n.crashed[to] {
+		n.stats.ToDead++
+		return
+	}
+	if n.lossProb > 0 && n.k.Rand().Float64() < n.lossProb {
+		n.stats.Lost++
+		return
+	}
+	delay := n.latency(sz)
+	n.k.After(delay, func() {
+		// Re-check at delivery time: the destination may have crashed, or a
+		// partition may have formed, while the message was in flight. A
+		// message already in flight from a sender that crashes later is
+		// still delivered — crash-stop halts the process, not the wire.
+		if n.crashed[to] {
+			n.stats.ToDead++
+			return
+		}
+		if n.separated(from, to, n.k.Now()) {
+			n.stats.Cut++
+			return
+		}
+		h, ok := n.handlers[to]
+		if !ok {
+			return
+		}
+		n.stats.Delivered++
+		h(from, msg)
+	})
+}
+
+// Stats returns a copy of the aggregate counters.
+func (n *Network) Stats() NetStats { return n.stats }
+
+// SentBytes returns the payload bytes sent by id.
+func (n *Network) SentBytes(id NodeID) int64 { return n.sentBytes[id] }
+
+// SentMessages returns the number of messages sent by id.
+func (n *Network) SentMessages(id NodeID) int64 { return n.sentMsgs[id] }

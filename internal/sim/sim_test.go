@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+type payload int
+
+func (p payload) Size() int { return int(p) }
+
+func TestKernelOrdering(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.At(3, func() { order = append(order, 3) })
+	k.At(1, func() { order = append(order, 1) })
+	k.At(2, func() { order = append(order, 2) })
+	k.Run(math.Inf(1))
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if k.Now() != 3 {
+		t.Errorf("Now = %g, want 3", k.Now())
+	}
+	if k.Events() != 3 {
+		t.Errorf("Events = %d, want 3", k.Events())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		k.At(1, func() { order = append(order, i) })
+	}
+	k.Run(math.Inf(1))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New(1)
+	hits := 0
+	k.At(1, func() {
+		k.After(1, func() {
+			hits++
+			if k.Now() != 2 {
+				t.Errorf("nested event at %g, want 2", k.Now())
+			}
+		})
+	})
+	k.Run(math.Inf(1))
+	if hits != 1 {
+		t.Errorf("hits = %d", hits)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	fired := 0
+	k.At(1, func() { fired++ })
+	k.At(10, func() { fired++ })
+	k.Run(5)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", k.Pending())
+	}
+	k.Run(math.Inf(1))
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	ev := k.At(1, func() { fired = true })
+	ev.Cancel()
+	k.Run(math.Inf(1))
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	var nilEv *Event
+	nilEv.Cancel() // must not panic
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	k := New(1)
+	k.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		k.At(1, func() {})
+	})
+	k.Run(math.Inf(1))
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	k := New(1)
+	fired := false
+	k.After(-5, func() { fired = true })
+	k.Run(math.Inf(1))
+	if !fired {
+		t.Error("After(-5) never fired")
+	}
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	k := New(1)
+	nw := NewNetwork(k, PaperLatency())
+	var got []int
+	var at []float64
+	nw.Register(2, func(from NodeID, m Message) {
+		if from != 1 {
+			t.Errorf("from = %d", from)
+		}
+		got = append(got, m.(payload).Size())
+		at = append(at, k.Now())
+	})
+	nw.Register(1, func(NodeID, Message) {})
+	nw.Send(1, 2, payload(100))
+	k.Run(math.Inf(1))
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("got = %v", got)
+	}
+	want := 1.5e-3 + 5e-6*100 // paper model: 1.5 + 0.005·L ms
+	if math.Abs(at[0]-want) > 1e-12 {
+		t.Errorf("delivery at %g, want %g", at[0], want)
+	}
+	st := nw.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Bytes != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	if nw.SentBytes(1) != 100 || nw.SentMessages(1) != 1 {
+		t.Errorf("per-sender: bytes=%d msgs=%d", nw.SentBytes(1), nw.SentMessages(1))
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	k := New(1)
+	nw := NewNetwork(k, nil)
+	delivered := 0
+	nw.Register(1, func(NodeID, Message) { delivered++ })
+	nw.Register(2, func(NodeID, Message) { delivered++ })
+	nw.Crash(2)
+	nw.Send(1, 2, payload(1)) // to dead
+	nw.Send(2, 1, payload(1)) // from dead
+	k.Run(math.Inf(1))
+	if delivered != 0 {
+		t.Errorf("delivered = %d, want 0", delivered)
+	}
+	st := nw.Stats()
+	if st.ToDead != 1 {
+		t.Errorf("ToDead = %d, want 1", st.ToDead)
+	}
+	if !nw.Crashed(2) || nw.Crashed(1) {
+		t.Error("Crashed flags wrong")
+	}
+}
+
+func TestCrashDuringFlightDropsAtDelivery(t *testing.T) {
+	k := New(1)
+	nw := NewNetwork(k, LinearLatency(1, 0)) // 1 s latency
+	delivered := 0
+	nw.Register(1, func(NodeID, Message) {})
+	nw.Register(2, func(NodeID, Message) { delivered++ })
+	nw.Send(1, 2, payload(1))
+	k.At(0.5, func() { nw.Crash(2) }) // crashes while message in flight
+	k.Run(math.Inf(1))
+	if delivered != 0 {
+		t.Error("message delivered to node that crashed in flight")
+	}
+}
+
+func TestInFlightFromCrashedSenderStillDelivered(t *testing.T) {
+	k := New(1)
+	nw := NewNetwork(k, LinearLatency(1, 0))
+	delivered := 0
+	nw.Register(1, func(NodeID, Message) {})
+	nw.Register(2, func(NodeID, Message) { delivered++ })
+	nw.Send(1, 2, payload(1))
+	k.At(0.5, func() { nw.Crash(1) }) // sender crashes after send
+	k.Run(math.Inf(1))
+	if delivered != 1 {
+		t.Error("in-flight message from crashed sender was dropped; crash-stop halts the process, not the wire")
+	}
+}
+
+func TestLoss(t *testing.T) {
+	k := New(7)
+	nw := NewNetwork(k, nil)
+	nw.SetLoss(0.5)
+	delivered := 0
+	nw.Register(1, func(NodeID, Message) {})
+	nw.Register(2, func(NodeID, Message) { delivered++ })
+	const n = 2000
+	for i := 0; i < n; i++ {
+		nw.Send(1, 2, payload(1))
+	}
+	k.Run(math.Inf(1))
+	if delivered < n*2/5 || delivered > n*3/5 {
+		t.Errorf("delivered %d of %d at 50%% loss", delivered, n)
+	}
+	st := nw.Stats()
+	if st.Lost+int64(delivered) != n {
+		t.Errorf("Lost=%d + delivered=%d != %d", st.Lost, delivered, n)
+	}
+}
+
+func TestSetLossValidates(t *testing.T) {
+	nw := NewNetwork(New(1), nil)
+	for _, p := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetLoss(%g) did not panic", p)
+				}
+			}()
+			nw.SetLoss(p)
+		}()
+	}
+}
+
+func TestPartition(t *testing.T) {
+	k := New(1)
+	nw := NewNetwork(k, LinearLatency(0.1, 0))
+	var delivered []float64
+	nw.Register(1, func(NodeID, Message) {})
+	nw.Register(2, func(NodeID, Message) { delivered = append(delivered, k.Now()) })
+	nw.AddPartition(1, 2, []NodeID{1}) // 1 isolated during [1, 2)
+	// Send at t=0.5: delivers at 0.6 — before the partition.
+	k.At(0.5, func() { nw.Send(1, 2, payload(1)) })
+	// Send at t=1.2: would deliver at 1.3 — inside the partition, cut.
+	k.At(1.2, func() { nw.Send(1, 2, payload(1)) })
+	// Send at t=2.5: after healing, delivers.
+	k.At(2.5, func() { nw.Send(1, 2, payload(1)) })
+	k.Run(math.Inf(1))
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d messages, want 2 (partition should cut one): %v", len(delivered), delivered)
+	}
+	if nw.Stats().Cut != 1 {
+		t.Errorf("Cut = %d, want 1", nw.Stats().Cut)
+	}
+	// Nodes on the same side of the partition still communicate.
+	nw2 := NewNetwork(k, nil)
+	got := 0
+	nw2.Register(3, func(NodeID, Message) { got++ })
+	nw2.Register(4, func(NodeID, Message) {})
+	nw2.AddPartition(k.Now(), k.Now()+100, []NodeID{3, 4})
+	nw2.Send(4, 3, payload(1))
+	k.Run(math.Inf(1))
+	if got != 1 {
+		t.Error("same-side message was cut")
+	}
+}
+
+func TestDoubleRegisterPanics(t *testing.T) {
+	nw := NewNetwork(New(1), nil)
+	nw.Register(1, func(NodeID, Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("double Register did not panic")
+		}
+	}()
+	nw.Register(1, func(NodeID, Message) {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, int64) {
+		k := New(99)
+		nw := NewNetwork(k, PaperLatency())
+		nw.SetLoss(0.2)
+		count := int64(0)
+		for id := NodeID(0); id < 5; id++ {
+			id := id
+			nw.Register(id, func(from NodeID, m Message) {
+				count++
+				if count < 200 {
+					to := NodeID(k.Rand().Intn(5))
+					nw.Send(id, to, payload(k.Rand().Intn(1000)))
+				}
+			})
+		}
+		nw.Send(0, 1, payload(10))
+		nw.Send(0, 2, payload(10))
+		return k.Run(math.Inf(1)), count
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if t1 != t2 || c1 != c2 {
+		t.Errorf("nondeterministic: (%g,%d) vs (%g,%d)", t1, c1, t2, c2)
+	}
+}
+
+func TestPropEventsFireInOrder(t *testing.T) {
+	f := func(times []float64) bool {
+		k := New(1)
+		var fired []float64
+		for _, tm := range times {
+			tm := math.Abs(tm)
+			if math.IsNaN(tm) || math.IsInf(tm, 0) {
+				continue
+			}
+			k.At(tm, func() { fired = append(fired, tm) })
+		}
+		k.Run(math.Inf(1))
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKernelThroughput(b *testing.B) {
+	k := New(1)
+	b.ReportAllocs()
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n < b.N {
+			k.After(1, step)
+		}
+	}
+	k.After(1, step)
+	b.ResetTimer()
+	k.Run(math.Inf(1))
+}

@@ -1,0 +1,197 @@
+// Package trace records per-process activity spans during a simulation and
+// renders them as an ASCII Gantt chart — the substitute for the paper's
+// MPE/clog logs viewed in Jumpshot (Figures 5 and 6).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// State is what a process is doing during a span.
+type State byte
+
+// States and their one-character Gantt glyphs.
+const (
+	Compute  State = 'B' // expanding subproblems
+	Comm     State = 'c' // handling messages
+	Contract State = 't' // table contraction
+	Balance  State = 'l' // load balancing
+	Idle     State = '.' // out of work
+	Recover  State = 'R' // complement-based failure recovery
+	Dead     State = 'X' // crashed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	case Contract:
+		return "contract"
+	case Balance:
+		return "load-balance"
+	case Idle:
+		return "idle"
+	case Recover:
+		return "recover"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("State(%c)", byte(s))
+}
+
+// Span is one activity interval of one process.
+type Span struct {
+	Node       int
+	State      State
+	Start, End float64
+}
+
+// Log is an append-only collection of spans. The zero value is ready to use.
+// A nil *Log discards everything, so instrumented code can log
+// unconditionally.
+type Log struct {
+	spans []Span
+	nodes int
+}
+
+// Add appends a span. Inverted spans are rejected, zero-length spans are
+// dropped. Nil-safe.
+func (l *Log) Add(node int, st State, start, end float64) {
+	if l == nil || end <= start {
+		return
+	}
+	l.spans = append(l.spans, Span{Node: node, State: st, Start: start, End: end})
+	if node+1 > l.nodes {
+		l.nodes = node + 1
+	}
+}
+
+// Spans returns a copy of the recorded spans.
+func (l *Log) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	return append([]Span(nil), l.spans...)
+}
+
+// Len returns the number of spans. Nil-safe.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.spans)
+}
+
+// End returns the latest span end time.
+func (l *Log) End() float64 {
+	if l == nil {
+		return 0
+	}
+	end := 0.0
+	for _, s := range l.spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// Gantt renders the log as one row of width cells per process. Each cell
+// shows the state that occupied the majority of its time slice; later spans
+// win ties, and a cell a process spent crashed always shows Dead.
+func (l *Log) Gantt(w io.Writer, width int) error {
+	if l == nil || len(l.spans) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	if width < 10 {
+		width = 10
+	}
+	end := l.End()
+	if end == 0 {
+		end = 1
+	}
+	cell := end / float64(width)
+	occupancy := make([]map[State]float64, l.nodes*width) // allocated lazily
+	for _, s := range l.spans {
+		first := int(s.Start / cell)
+		last := int(s.End / cell)
+		if last >= width {
+			last = width - 1
+		}
+		for c := first; c <= last; c++ {
+			lo := float64(c) * cell
+			hi := lo + cell
+			if s.Start > lo {
+				lo = s.Start
+			}
+			if s.End < hi {
+				hi = s.End
+			}
+			if hi <= lo {
+				continue
+			}
+			idx := s.Node*width + c
+			if occupancy[idx] == nil {
+				occupancy[idx] = map[State]float64{}
+			}
+			occupancy[idx][s.State] += hi - lo
+		}
+	}
+	var states []State
+	for _, s := range []State{Compute, Comm, Contract, Balance, Recover, Idle, Dead} {
+		states = append(states, s)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: 0 %s %.3gs\n", strings.Repeat(" ", width-8), end)
+	for n := 0; n < l.nodes; n++ {
+		fmt.Fprintf(&b, "p%-3d |", n)
+		for c := 0; c < width; c++ {
+			occ := occupancy[n*width+c]
+			if len(occ) == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			if occ[Dead] > 0 {
+				b.WriteByte(byte(Dead))
+				continue
+			}
+			best, bestT := Idle, -1.0
+			for _, st := range states {
+				if tm, ok := occ[st]; ok && tm > bestT {
+					best, bestT = st, tm
+				}
+			}
+			b.WriteByte(byte(best))
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("legend: B=compute c=comm t=contract l=load-balance R=recover .=idle X=dead\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary returns per-state total durations, for assertions in tests.
+func (l *Log) Summary() map[State]float64 {
+	out := map[State]float64{}
+	if l == nil {
+		return out
+	}
+	for _, s := range l.spans {
+		out[s.State] += s.End - s.Start
+	}
+	return out
+}
+
+// SortedByStart returns spans ordered by start time (stable for equal times).
+func (l *Log) SortedByStart() []Span {
+	out := l.Spans()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

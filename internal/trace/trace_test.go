@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAddAndSummary(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 5)
+	l.Add(0, Idle, 5, 7)
+	l.Add(1, Compute, 0, 7)
+	sum := l.Summary()
+	if sum[Compute] != 12 || sum[Idle] != 2 {
+		t.Errorf("Summary = %v", sum)
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if l.End() != 7 {
+		t.Errorf("End = %g", l.End())
+	}
+}
+
+func TestRejectsBadSpans(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 5, 5) // zero length
+	l.Add(0, Compute, 5, 3) // inverted
+	if l.Len() != 0 {
+		t.Errorf("bad spans recorded: %d", l.Len())
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, Compute, 0, 1)
+	if l.Len() != 0 || l.End() != 0 || l.Spans() != nil {
+		t.Error("nil log misbehaved")
+	}
+	if got := l.Summary(); len(got) != 0 {
+		t.Error("nil log summary non-empty")
+	}
+	var buf bytes.Buffer
+	if err := l.Gantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("nil log Gantt should say empty")
+	}
+}
+
+func TestGanttShape(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 10)
+	l.Add(1, Compute, 0, 5)
+	l.Add(1, Idle, 5, 10)
+	var buf bytes.Buffer
+	if err := l.Gantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// header + 2 process rows + legend
+	if len(lines) != 4 {
+		t.Fatalf("Gantt lines = %d:\n%s", len(lines), buf.String())
+	}
+	p0 := lines[1]
+	if !strings.HasPrefix(p0, "p0") {
+		t.Errorf("row 0 = %q", p0)
+	}
+	if strings.Count(p0, "B") < 35 {
+		t.Errorf("p0 should be nearly all compute: %q", p0)
+	}
+	p1 := lines[2]
+	if !strings.Contains(p1, "B") || !strings.Contains(p1, ".") {
+		t.Errorf("p1 should mix compute and idle: %q", p1)
+	}
+	// Idle must appear in the second half of p1's band.
+	band := p1[strings.Index(p1, "|")+1 : strings.LastIndex(p1, "|")]
+	half := len(band) / 2
+	if strings.Contains(band[:half-2], ".") {
+		t.Errorf("idle leaked into first half: %q", band)
+	}
+}
+
+func TestGanttDeadDominates(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 9)
+	l.Add(0, Dead, 9, 10)
+	var buf bytes.Buffer
+	if err := l.Gantt(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	row := strings.Split(buf.String(), "\n")[1]
+	if !strings.HasSuffix(strings.TrimRight(row, "|"), "X") {
+		t.Errorf("dead cell not shown: %q", row)
+	}
+}
+
+func TestGanttMinWidth(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 0, 1)
+	var buf bytes.Buffer
+	if err := l.Gantt(&buf, 1); err != nil { // clamped to ≥10
+		t.Fatal(err)
+	}
+	if len(buf.String()) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestSortedByStart(t *testing.T) {
+	var l Log
+	l.Add(0, Compute, 5, 6)
+	l.Add(0, Compute, 1, 2)
+	l.Add(0, Compute, 3, 4)
+	spans := l.SortedByStart()
+	prev := math.Inf(-1)
+	for _, s := range spans {
+		if s.Start < prev {
+			t.Fatalf("not sorted: %v", spans)
+		}
+		prev = s.Start
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range []State{Compute, Comm, Contract, Balance, Idle, Recover, Dead} {
+		if strings.HasPrefix(s.String(), "State(") {
+			t.Errorf("state %c has no name", byte(s))
+		}
+	}
+	if !strings.HasPrefix(State('?').String(), "State(") {
+		t.Error("unknown state should fall back to State(...)")
+	}
+}
