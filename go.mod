@@ -1,0 +1,3 @@
+module gossipbnb
+
+go 1.24.0

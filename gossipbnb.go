@@ -8,13 +8,15 @@
 //
 //   - subproblem codes and the contracted completed-problem table — the
 //     paper's fault-tolerance and termination-detection mechanism;
+//   - the canonical protocol vocabulary: the one wire-message set and
+//     binary codec every runtime speaks (internal/protocol);
 //   - a sequential branch-and-bound engine with pluggable selection rules
 //     and a knapsack workload;
 //   - "basic trees": recorded search trees that drive the simulator;
 //   - the deterministic discrete-event simulation of the full distributed
 //     algorithm, with crash, loss and partition injection;
 //   - the DIB and centralized manager-worker baselines;
-//   - a live goroutine/channel runtime of the same protocol.
+//   - a live goroutine/channel runtime of the same protocol core.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record. Regenerate every table and figure with
@@ -33,6 +35,7 @@ import (
 	"gossipbnb/internal/dbnb"
 	"gossipbnb/internal/dib"
 	"gossipbnb/internal/live"
+	"gossipbnb/internal/protocol"
 	"gossipbnb/internal/sim"
 	"gossipbnb/internal/trace"
 )
@@ -77,6 +80,37 @@ func NewListTable() *ListTable { return ctree.NewList() }
 
 // DecodeTable reconstructs a table from Table.Encode output.
 func DecodeTable(buf []byte) (*Table, error) { return ctree.Decode(buf) }
+
+// --- canonical protocol messages and codec (§5) ---------------------------------
+
+// Msg is a canonical wire message of the protocol — the single vocabulary
+// both the simulator and the live runtime speak (internal/protocol).
+type Msg = protocol.Msg
+
+// Report is a work report: a contracted batch of completed-problem codes
+// (§5.3.2). A report whose only code is the root is the termination
+// broadcast of §5.4.
+type Report = protocol.Report
+
+// TableMsg is the occasional full-table consistency push.
+type TableMsg = protocol.TableMsg
+
+// WorkRequest asks a randomly chosen member for problems.
+type WorkRequest = protocol.WorkRequest
+
+// WorkGrant transfers problems by their self-contained codes.
+type WorkGrant = protocol.WorkGrant
+
+// WorkDeny tells a requester its target has no work to spare.
+type WorkDeny = protocol.WorkDeny
+
+// EncodeMsg appends the canonical binary encoding of m to dst — the codec
+// used verbatim by the TCP transport's frames.
+func EncodeMsg(dst []byte, m Msg) ([]byte, error) { return protocol.Encode(dst, m) }
+
+// DecodeMsg reads one canonical message from the front of buf, returning
+// the message and the number of bytes consumed.
+func DecodeMsg(buf []byte) (Msg, int, error) { return protocol.Decode(buf) }
 
 // --- sequential engine (§2) ------------------------------------------------------
 

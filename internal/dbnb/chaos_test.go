@@ -139,36 +139,3 @@ func TestAdaptiveReportsCorrectness(t *testing.T) {
 			adaptive.Optimum, fixed.Optimum)
 	}
 }
-
-// TestPoolDisciplines exercises the dual-discipline pool directly.
-func TestPoolDisciplines(t *testing.T) {
-	bf := pool{}
-	for _, b := range []float64{5, 1, 3, 2, 4} {
-		bf.push(poolItem{bound: b})
-	}
-	prev := -1.0
-	for bf.Len() > 0 {
-		b := bf.pop().bound
-		if b < prev {
-			t.Fatalf("best-first order violated: %g after %g", b, prev)
-		}
-		prev = b
-	}
-	df := pool{dfs: true}
-	for _, b := range []float64{5, 1, 3} {
-		df.push(poolItem{bound: b})
-	}
-	if got := df.pop().bound; got != 3 {
-		t.Errorf("depth-first pop = %g, want 3 (LIFO)", got)
-	}
-	// steal takes the smallest bound under both disciplines.
-	if got := df.steal().bound; got != 1 {
-		t.Errorf("depth-first steal = %g, want 1", got)
-	}
-	bf2 := pool{}
-	bf2.push(poolItem{bound: 2})
-	bf2.push(poolItem{bound: 1})
-	if got := bf2.steal().bound; got != 1 {
-		t.Errorf("best-first steal = %g, want 1", got)
-	}
-}

@@ -1,31 +1,31 @@
-// Package dbnb implements the paper's contribution (§5): a fully
+// Package dbnb simulates the paper's contribution (§5): a fully
 // decentralized, asynchronous, fault-tolerant parallel branch-and-bound
-// algorithm for unreliable pools of resources, built from
+// algorithm for unreliable pools of resources.
 //
-//   - on-demand dynamic load balancing (work requests to random members),
-//   - incumbent circulation piggybacked on every message,
-//   - the tree-code fault-tolerance mechanism of internal/ctree
-//     (work reports, table merging and contraction, complement-based
-//     recovery of lost work), and
-//   - almost-implicit termination detection (§5.4).
-//
-// The algorithm runs over the deterministic simulator of internal/sim,
-// replaying a recorded basic tree (internal/btree), exactly as the paper's
+// The protocol itself — load balancing, incumbent circulation, the
+// tree-code fault-tolerance mechanism, almost-implicit termination
+// detection — lives in internal/protocol, shared verbatim with the live
+// goroutine runtime (internal/live). This package is the deterministic-sim
+// driver: it feeds virtual time and internal/sim network events into the
+// core, charges the modeled CPU costs of the paper's evaluation, and
+// replays a recorded basic tree (internal/btree), exactly as the paper's
 // Parsec experiments did.
 package dbnb
 
 import (
+	"gossipbnb/internal/protocol"
 	"gossipbnb/internal/sim"
 	"gossipbnb/internal/trace"
 )
 
-// SelectRule chooses which active problem a process branches next.
-type SelectRule int
+// SelectRule chooses which active problem a process branches next — the
+// protocol core's type, shared with the live runtime.
+type SelectRule = protocol.SelectRule
 
 // Selection rules.
 const (
-	BestFirst SelectRule = iota
-	DepthFirst
+	BestFirst  = protocol.BestFirst
+	DepthFirst = protocol.DepthFirst
 )
 
 // Crash schedules a crash-stop failure of one process.

@@ -1,184 +1,110 @@
 package dbnb
 
 import (
-	"math"
-
-	"gossipbnb/internal/code"
-	"gossipbnb/internal/ctree"
 	"gossipbnb/internal/metrics"
+	"gossipbnb/internal/protocol"
 	"gossipbnb/internal/sim"
 	"gossipbnb/internal/trace"
 )
-
-// poolItem is one active problem: its code, its index in the basic tree, and
-// its recorded bound.
-type poolItem struct {
-	c     code.Code
-	idx   int32
-	bound float64
-}
-
-// pool holds the active problems under either selection rule: a binary heap
-// on bound for best-first, a LIFO stack for depth-first. Steal always takes
-// the entry with the smallest bound (for depth-first that is the shallowest,
-// largest outstanding region — the classic steal-from-the-bottom choice).
-type pool struct {
-	items []poolItem
-	dfs   bool
-}
-
-func (p *pool) Len() int { return len(p.items) }
-
-func (p *pool) push(it poolItem) {
-	p.items = append(p.items, it)
-	if p.dfs {
-		return
-	}
-	i := len(p.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if p.items[parent].bound <= p.items[i].bound {
-			break
-		}
-		p.items[i], p.items[parent] = p.items[parent], p.items[i]
-		i = parent
-	}
-}
-
-func (p *pool) pop() poolItem {
-	if p.dfs {
-		n := len(p.items) - 1
-		it := p.items[n]
-		p.items[n] = poolItem{}
-		p.items = p.items[:n]
-		return it
-	}
-	top := p.items[0]
-	n := len(p.items) - 1
-	p.items[0] = p.items[n]
-	p.items[n] = poolItem{}
-	p.items = p.items[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < len(p.items) && p.items[l].bound < p.items[m].bound {
-			m = l
-		}
-		if r < len(p.items) && p.items[r].bound < p.items[m].bound {
-			m = r
-		}
-		if m == i {
-			break
-		}
-		p.items[i], p.items[m] = p.items[m], p.items[i]
-		i = m
-	}
-	return top
-}
-
-// steal removes and returns the entry with the smallest bound.
-func (p *pool) steal() poolItem {
-	if !p.dfs {
-		return p.pop()
-	}
-	best := 0
-	for i := range p.items {
-		if p.items[i].bound < p.items[best].bound {
-			best = i
-		}
-	}
-	it := p.items[best]
-	p.items = append(p.items[:best], p.items[best+1:]...)
-	return it
-}
 
 // inMsg is a queued incoming message (the paper's processes check pending
 // messages only after finishing the current subproblem).
 type inMsg struct {
 	from sim.NodeID
-	msg  sim.Message
+	msg  protocol.Msg
 }
 
-// node is one simulated process running the algorithm of §5.
+// node drives one protocol.Core under the virtual-time simulator. The split
+// of responsibilities is strict: every protocol decision — what to expand,
+// when to report, whom to probe, when to presume work lost — lives in the
+// shared core; the node owns only what the simulated substrate defines:
+// busy periods charged via the kernel, timers, modeled CPU costs, metrics
+// and trace accounting, idle spans, and crash delivery.
 type node struct {
-	id sim.NodeID
-	h  *harness
-
-	pool       pool
-	table      *ctree.Table
-	outbox     *ctree.Table // new locally completed subproblems, contracted
-	lastReport float64
-	outboxAdds int     // completions inserted into the outbox since last flush
-	ewmaCost   float64 // smoothed per-subproblem execution time (adaptive reports)
-	incumbent  float64
+	id   sim.NodeID
+	h    *harness
+	core *protocol.Core
 
 	busy       bool
 	crashed    bool
-	terminated bool
+	done       bool // observed the core's termination detection
 	detectedAt float64
 	inbox      []inMsg
 
-	reqPending   bool
-	reqWaiting   bool // pacing delay between failed attempts
-	reqTimer     *sim.Event
-	failedReqs   int
-	lastProgress float64 // last remote progress: grant, or novel report/table
-	// remoteAct anchors the freshest evidence that some OTHER process was
-	// computing (merged from message ages); selfBusy anchors this process's
-	// own last computation. Outgoing ages use both; the recovery gate uses
-	// only remote evidence — a survivor's own work must not stop it from
-	// presuming its dead peers' work lost.
-	remoteAct float64
-	selfBusy  float64
-	tableOps  int // sampling counter for storage observation
+	reqWaiting bool // pacing delay between failed load-balancing attempts
+	reqTimer   *sim.Event
 
+	tableOps  int     // sampling counter for storage observation
 	idleStart float64 // <0 when not idle
 	met       *metrics.Node
 }
 
-func newNode(id sim.NodeID, h *harness) *node {
-	return &node{
-		id:        id,
-		h:         h,
-		pool:      pool{dfs: h.cfg.Select == DepthFirst},
-		table:     ctree.New(),
-		outbox:    ctree.New(),
-		incumbent: math.Inf(1),
-		idleStart: -1,
-		met:       &h.met.Nodes[id],
+// nodeSender transmits the core's canonical messages over the simulated
+// network, charging each send's modeled CPU overhead to the activity it
+// serves. Event counts (reports, tables, requests, work sent) are NOT
+// tallied here — the core counts them at protocol level (so e.g. the
+// termination broadcast is not a "work report" in the experiment tables)
+// and Run folds them into the metrics.
+type nodeSender struct{ n *node }
+
+func (s nodeSender) Send(to protocol.NodeID, m protocol.Msg) {
+	n := s.n
+	n.h.nw.Send(n.id, sim.NodeID(to), m)
+	over := n.h.cfg.CommOverhead
+	switch m.(type) {
+	case protocol.Report, protocol.TableMsg:
+		n.met.Add(metrics.Comm, over)
+	case protocol.WorkRequest, protocol.WorkGrant, protocol.WorkDeny:
+		n.met.Add(metrics.LB, over)
 	}
+}
+
+func newNode(id sim.NodeID, h *harness) *node {
+	n := &node{id: id, h: h, idleStart: -1, met: &h.met.Nodes[id]}
+	cfg := &h.cfg
+	n.core = protocol.New(protocol.NodeID(id), protocol.Config{
+		Select:           cfg.Select,
+		Prune:            cfg.Prune,
+		ReportBatch:      cfg.ReportBatch,
+		ReportFanout:     cfg.ReportFanout,
+		ReportTimeout:    cfg.ReportTimeout,
+		AdaptiveReports:  cfg.AdaptiveReports,
+		MinPoolToShare:   cfg.MinPoolToShare,
+		MaxShare:         cfg.MaxShare,
+		RecoveryPatience: cfg.RecoveryPatience,
+		RecoveryQuiet:    cfg.RecoveryQuiet,
+		DisableRecovery:  cfg.DisableRecovery,
+	}, protocol.Deps{
+		Clock:         h.k,
+		Sender:        nodeSender{n},
+		Expander:      protocol.TreeExpander{Tree: h.tree},
+		Peers:         n.peerView,
+		Rand:          func(m int) int { return h.k.Rand().Intn(m) },
+		RandFloat:     func() float64 { return h.k.Rand().Float64() },
+		OnComplete:    h.noteCompletion,
+		OnTableChange: n.observeTable,
+	})
+	return n
+}
+
+// peerView adapts the harness's membership view to protocol identifiers.
+func (n *node) peerView() []protocol.NodeID {
+	peers := n.h.view(n.id)
+	out := make([]protocol.NodeID, len(peers))
+	for i, p := range peers {
+		out[i] = protocol.NodeID(p)
+	}
+	return out
 }
 
 // dead reports whether the node should do nothing further.
-func (n *node) dead() bool { return n.crashed || n.terminated }
-
-// activityAge returns how long ago, as far as this node knows, some process
-// was actively computing. A node that is itself computing (or holds active
-// problems) reports zero; otherwise the freshest of its own past activity
-// and the relayed remote evidence.
-func (n *node) activityAge() float64 {
-	if !n.terminated && (n.busy || n.pool.Len() > 0) {
-		return 0
-	}
-	anchor := n.selfBusy
-	if n.remoteAct > anchor {
-		anchor = n.remoteAct
-	}
-	return n.h.k.Now() - anchor
-}
-
-// noteActivity merges activity evidence from a received message.
-func (n *node) noteActivity(age float64) {
-	if cand := n.h.k.Now() - age; cand > n.remoteAct {
-		n.remoteAct = cand
-	}
-}
+func (n *node) dead() bool { return n.crashed || n.done }
 
 // --- the main loop ----------------------------------------------------------
 
 // loop is invoked whenever the node becomes free: after a work unit, after
-// processing messages, after a timer. It decides the next activity.
+// processing messages, after a timer. The core decides the next activity;
+// the loop charges its cost.
 func (n *node) loop() {
 	if n.busy || n.crashed {
 		return
@@ -187,42 +113,29 @@ func (n *node) loop() {
 		n.drainInbox()
 		return
 	}
-	if n.terminated {
+	if n.done {
 		return
 	}
-	if n.table.Complete() {
-		n.detectTermination()
-		return
-	}
-	cfg := &n.h.cfg
-	for n.pool.Len() > 0 {
-		it := n.pool.pop()
-		if n.table.Contains(it.c) {
-			continue // completed elsewhere in the meantime; drop silently
-		}
-		if cfg.Prune && it.bound >= n.incumbent {
-			// Eliminate: the problem is fathomed without expansion, which
-			// completes it (nothing below it can matter).
-			n.complete(it.c)
-			if n.table.Complete() {
-				n.detectTermination()
-				return
-			}
-			continue
-		}
+	it, st := n.core.Next()
+	switch st {
+	case protocol.Expand:
 		n.endIdle()
 		n.expand(it)
-		return
+	case protocol.Terminated:
+		n.onTerminated()
+	case protocol.Starved:
+		// Out of work: dynamic load balancing, then (if it keeps failing)
+		// failure recovery.
+		n.beginIdle()
+		n.requestWork()
 	}
-	// Out of work: dynamic load balancing, then (if it keeps failing)
-	// failure recovery.
-	n.beginIdle()
-	n.requestWork()
 }
 
-// expand pays the recorded node cost, then applies the branching outcome.
-func (n *node) expand(it poolItem) {
-	cost := n.h.tree.Nodes[it.idx].Cost * n.h.cfg.CostFactor
+// expand pays the recorded node cost, then reports the branching outcome to
+// the core.
+func (n *node) expand(it protocol.Item) {
+	tn := &n.h.tree.Nodes[it.Ref]
+	cost := tn.Cost * n.h.cfg.CostFactor
 	n.busy = true
 	start := n.h.k.Now()
 	n.h.k.After(cost, func() {
@@ -231,105 +144,25 @@ func (n *node) expand(it poolItem) {
 			return
 		}
 		now := n.h.k.Now()
-		n.selfBusy = now
-		if n.ewmaCost == 0 {
-			n.ewmaCost = now - start
-		} else {
-			n.ewmaCost += 0.2 * ((now - start) - n.ewmaCost)
-		}
 		n.met.Add(metrics.BB, now-start)
 		n.h.cfg.Trace.Add(int(n.id), trace.Compute, start, now)
 		n.met.Expanded++
-		n.h.noteExpansion(n, it.c)
-		tn := &n.h.tree.Nodes[it.idx]
-		if tn.Feasible && tn.Bound < n.incumbent {
-			n.incumbent = tn.Bound
-		}
-		if tn.Leaf() {
-			n.complete(it.c)
-		} else {
-			for b := uint8(0); b < 2; b++ {
-				childIdx := tn.Children[b]
-				childCode := it.c.Child(tn.BranchVar, b)
-				childBound := n.h.tree.Nodes[childIdx].Bound
-				if n.table.Contains(childCode) {
-					continue // already completed somewhere
-				}
-				if n.h.cfg.Prune && childBound >= n.incumbent {
-					n.complete(childCode) // eliminated at generation
-					continue
-				}
-				n.pool.push(poolItem{c: childCode, idx: childIdx, bound: childBound})
-			}
-			if n.pool.Len() > n.met.PeakPool {
-				n.met.PeakPool = n.pool.Len()
-			}
-		}
+		n.h.noteExpansion(n, it.Code)
+		n.core.OnExpanded(it, protocol.TreeExpander{Tree: n.h.tree}.Outcome(it), now-start)
 		n.loop()
 	})
 }
 
-// complete records the completion of a subproblem: into the table (for
-// termination detection and duplicate suppression) and into the outbox (to
-// be gossiped as a work report).
-func (n *node) complete(c code.Code) {
-	if changed, err := n.table.Insert(c); err != nil || !changed {
-		return
-	}
-	if changed, _ := n.outbox.Insert(c); changed {
-		n.outboxAdds++
-	}
-	n.observeTable()
-	n.h.noteCompletion(c)
-	if n.outbox.Len() >= n.h.cfg.ReportBatch {
-		n.sendReport()
-	}
-}
+// --- reporting timers ---------------------------------------------------------
 
-// --- reporting and gossip ----------------------------------------------------
-
-// sendReport flushes the outbox as a work report to ReportFanout random
-// members. Compression already happened: the outbox is a contracted table.
-func (n *node) sendReport() {
-	codes := n.outbox.Codes()
-	if len(codes) == 0 {
-		return
-	}
-	n.outbox = ctree.New()
-	n.met.ReportedComps += n.outboxAdds
-	n.outboxAdds = 0
-	n.lastReport = n.h.k.Now()
-	msg := msgReport{codes: codes, incumbent: n.incumbent, actAge: n.activityAge()}
-	peers := n.h.view(n.id)
-	if len(peers) == 0 {
-		return // lone process: nothing to gossip, its own table suffices
-	}
-	for i := 0; i < n.h.cfg.ReportFanout; i++ {
-		to := peers[n.h.k.Rand().Intn(len(peers))]
-		n.h.nw.Send(n.id, to, msg)
-		n.met.ReportsSent++
-		n.met.ReportCodes += len(codes)
-	}
-	n.met.Add(metrics.Comm, n.h.cfg.CommOverhead)
-}
-
-// reportTick flushes a stale outbox ("the list has not been updated for a
-// long time"). With AdaptiveReports the staleness threshold tracks how long
-// this process actually needs to fill a batch — roughly ReportBatch times
-// its smoothed per-subproblem time — so coarse-granularity runs stop
-// shipping half-empty reports at a fixed wall-clock cadence.
+// reportTick flushes a stale outbox on the core's (possibly adaptive)
+// schedule.
 func (n *node) reportTick() {
 	if n.dead() {
 		return
 	}
-	timeout := n.h.cfg.ReportTimeout
-	if n.h.cfg.AdaptiveReports {
-		if adaptive := float64(n.h.cfg.ReportBatch) * n.ewmaCost; adaptive > timeout {
-			timeout = adaptive
-		}
-	}
-	if n.outbox.Len() > 0 && n.h.k.Now()-n.lastReport >= timeout {
-		n.sendReport()
+	if n.core.ReportOverdue() {
+		n.core.FlushReport()
 	}
 	n.h.k.After(n.h.cfg.ReportTimeout, n.reportTick)
 }
@@ -342,71 +175,42 @@ func (n *node) tableTick() {
 	peers := n.h.view(n.id)
 	if len(peers) > 0 {
 		to := peers[n.h.k.Rand().Intn(len(peers))]
-		n.h.nw.Send(n.id, to, msgTable{codes: n.table.Codes(), incumbent: n.incumbent, actAge: n.activityAge()})
-		n.met.TablesSent++
-		n.met.Add(metrics.Comm, n.h.cfg.CommOverhead)
+		n.core.SendTable(protocol.NodeID(to))
 	}
 	n.h.k.After(n.h.cfg.TableInterval, n.tableTick)
 }
 
 // --- load balancing and recovery ---------------------------------------------
 
-// requestWork sends a work request to one random member, or falls back to
-// recovery when requests keep failing (or there is nobody left to ask).
+// requestWork lets the core run its starvation decision, then arranges the
+// substrate side: a timeout for the probe, a pacing delay, or the recovery
+// busy period.
 func (n *node) requestWork() {
-	if n.dead() || n.reqPending || n.reqWaiting || n.pool.Len() > 0 {
+	if n.dead() || n.reqWaiting || n.busy {
 		return
 	}
-	cfg := &n.h.cfg
-	peers := n.h.view(n.id)
-	if n.failedReqs >= cfg.RecoveryPatience || len(peers) == 0 {
-		// Enough failed attempts to suspect lost work — but only presume
-		// failure after a quiet window with no remote progress at all;
-		// during start-up, starvation just means the work has not spread
-		// yet, and adopting the complement of an empty table would make
-		// every process redo the root.
-		quiet := cfg.RecoveryQuiet * (0.75 + 0.5*n.h.k.Rand().Float64())
-		fresh := n.lastProgress
-		if n.remoteAct > fresh {
-			fresh = n.remoteAct
+	switch n.core.Starve() {
+	case protocol.StarveRequested:
+		n.reqTimer = n.h.k.After(n.h.cfg.RequestTimeout, func() {
+			if n.dead() {
+				return
+			}
+			n.core.RequestFailed()
+			n.paceRetry()
+		})
+	case protocol.StarveRecover:
+		n.recover()
+	case protocol.StarveWait:
+		if !n.core.RequestPending() {
+			// Alone inside the quiet window: try again later. (With a
+			// request outstanding its timer revives us instead.)
+			n.paceRetry()
 		}
-		if n.h.k.Now()-fresh >= quiet {
-			n.recover()
-			return
-		}
-		if len(peers) == 0 {
-			// Alone and inside the quiet window: try again later.
-			n.reqFailed()
-			return
-		}
-		// Keep probing; the counter stays at the threshold.
 	}
-	if n.failedReqs > 0 {
-		// Starving: suspect termination and push the table to a random
-		// member, spreading completion information faster (§6.3.1:
-		// lightly loaded processes send more work reports).
-		to := peers[n.h.k.Rand().Intn(len(peers))]
-		n.h.nw.Send(n.id, to, msgTable{codes: n.table.Codes(), incumbent: n.incumbent, actAge: n.activityAge()})
-		n.met.TablesSent++
-		n.met.Add(metrics.Comm, cfg.CommOverhead)
-	}
-	to := peers[n.h.k.Rand().Intn(len(peers))]
-	n.h.nw.Send(n.id, to, msgWorkRequest{incumbent: n.incumbent, actAge: n.activityAge()})
-	n.met.WorkRequests++
-	n.met.Add(metrics.LB, cfg.CommOverhead)
-	n.reqPending = true
-	n.reqTimer = n.h.k.After(cfg.RequestTimeout, func() {
-		if n.dead() {
-			return
-		}
-		n.reqPending = false
-		n.reqFailed()
-	})
 }
 
-// reqFailed records a failed load-balancing attempt and paces the retry.
-func (n *node) reqFailed() {
-	n.failedReqs++
+// paceRetry spaces failed load-balancing attempts RetryDelay apart.
+func (n *node) paceRetry() {
 	if n.reqWaiting {
 		return
 	}
@@ -419,25 +223,18 @@ func (n *node) reqFailed() {
 	})
 }
 
-// recover presumes some reported-nowhere work was lost and re-creates it by
-// complementing the local table (§5.3.2 failure recovery). The complement
-// scan is charged as contraction time.
+// recover charges the table-complement scan as contraction time, then lets
+// the core adopt the planned regions (§5.3.2 failure recovery).
 func (n *node) recover() {
 	if n.h.cfg.DisableRecovery || n.dead() {
 		return
 	}
-	// Stay at the suspicion threshold: while the remote-evidence gate stays
-	// stale the node recovers again immediately on its next starvation;
-	// fresh evidence (a report, a grant, a relayed activity age) pushes it
-	// back into the probing path. Only an actual work grant resets the
-	// counter — this is the paper's "how soon failure is suspected" knob.
-	n.failedReqs = n.h.cfg.RecoveryPatience
-	comp := n.table.Complement(8)
-	if len(comp) == 0 {
+	plan := n.core.PlanRecovery()
+	if len(plan) == 0 {
 		n.loop() // table is complete; loop will detect termination
 		return
 	}
-	scanCost := n.h.cfg.ContractPerCode * float64(n.table.Len()+1)
+	scanCost := n.h.cfg.ContractPerCode * float64(n.core.Table().Len()+1)
 	n.busy = true
 	start := n.h.k.Now()
 	n.endIdle()
@@ -448,27 +245,7 @@ func (n *node) recover() {
 		}
 		n.met.Add(metrics.Contract, scanCost)
 		n.h.cfg.Trace.Add(int(n.id), trace.Recover, start, n.h.k.Now())
-		// Adopt a few uncompleted regions, starting from a random one so
-		// concurrent recoverers tend to pick different regions (the paper's
-		// "lack of coordination" redundancy, reduced but not eliminated).
-		// Adopt more when much is missing (a lone survivor rebuilding) and
-		// less when little is (the end-game tail, where regions picked here
-		// are probably in progress elsewhere).
-		adopt := 1 + len(comp)/4
-		if adopt > 4 {
-			adopt = 4
-		}
-		if adopt > len(comp) {
-			adopt = len(comp)
-		}
-		off := n.h.k.Rand().Intn(len(comp))
-		for i := 0; i < adopt; i++ {
-			c := comp[(off+i)%len(comp)]
-			if idx, ok := n.h.tree.Locate(c); ok && !n.table.Contains(c) {
-				n.pool.push(poolItem{c: c, idx: idx, bound: n.h.tree.Nodes[idx].Bound})
-				n.met.Recoveries++
-			}
-		}
+		n.core.Adopt(plan)
 		n.loop()
 	})
 }
@@ -480,50 +257,42 @@ func (n *node) deliver(from sim.NodeID, msg sim.Message) {
 	if n.crashed {
 		return
 	}
-	n.inbox = append(n.inbox, inMsg{from: from, msg: msg})
+	pm, ok := msg.(protocol.Msg)
+	if !ok {
+		return
+	}
+	n.inbox = append(n.inbox, inMsg{from: from, msg: pm})
 	if !n.busy {
 		n.loop()
 	}
 }
 
-// drainInbox processes all queued messages, charging their modeled CPU cost
-// as one busy period, then resumes the loop.
+// drainInbox feeds all queued messages to the core, charging their modeled
+// CPU cost as one busy period, then resumes the loop.
 func (n *node) drainInbox() {
 	cfg := &n.h.cfg
-	commCost, contractCost := 0.0, 0.0
+	commCost, contractCost, lbCost := 0.0, 0.0, 0.0
 	for len(n.inbox) > 0 {
 		m := n.inbox[0]
 		n.inbox = n.inbox[1:]
 		commCost += cfg.CommOverhead
 		switch t := m.msg.(type) {
-		case msgReport:
-			n.observeIncumbent(t.incumbent)
-			n.noteActivity(t.actAge)
-			n.mergeCodes(t.codes)
-			contractCost += cfg.ContractPerCode * float64(len(t.codes))
-		case msgTable:
-			n.observeIncumbent(t.incumbent)
-			n.noteActivity(t.actAge)
-			n.mergeCodes(t.codes)
-			contractCost += cfg.ContractPerCode * float64(len(t.codes))
-		case msgWorkRequest:
-			n.observeIncumbent(t.incumbent)
-			n.noteActivity(t.actAge)
-			n.handleWorkRequest(m.from)
-		case msgWorkGrant:
-			n.observeIncumbent(t.incumbent)
-			n.noteActivity(t.actAge)
-			n.handleGrant(t)
-		case msgWorkDeny:
-			n.observeIncumbent(t.incumbent)
-			n.noteActivity(t.actAge)
-			if n.reqPending {
-				n.reqPending = false
-				n.reqTimer.Cancel()
-				n.reqFailed()
-			}
+		case protocol.Report:
+			contractCost += cfg.ContractPerCode * float64(len(t.Codes))
+		case protocol.TableMsg:
+			contractCost += cfg.ContractPerCode * float64(len(t.Codes))
+		case protocol.WorkGrant:
+			lbCost += cfg.CommOverhead * float64(1+len(t.Codes)/8)
+		}
+		eff := n.core.HandleMessage(protocol.NodeID(m.from), m.msg)
+		if eff.Answered {
+			n.reqTimer.Cancel()
+		}
+		if eff.Failed {
+			n.paceRetry()
 		}
 	}
+	n.met.Add(metrics.LB, lbCost)
 	total := commCost + contractCost
 	n.busy = true
 	start := n.h.k.Now()
@@ -546,104 +315,26 @@ func (n *node) drainInbox() {
 	})
 }
 
-// mergeCodes stores a received report in the table and contracts it. Novel
-// information counts as remote progress for the recovery quiet window.
-func (n *node) mergeCodes(cs []code.Code) {
-	changed, _ := n.table.InsertAll(cs)
-	if changed > 0 {
-		n.lastProgress = n.h.k.Now()
-	}
-	n.observeTable()
-}
-
 // observeTable samples the table's wire size for storage accounting.
 // Computing the exact size on every mutation would cost O(table) each time,
 // so it is sampled every 32 mutations (and at termination).
 func (n *node) observeTable() {
 	n.tableOps++
 	if n.tableOps%32 == 0 {
-		n.met.ObserveTable(n.table.WireSize())
+		n.met.ObserveTable(n.core.Table().WireSize())
 	}
-}
-
-// observeIncumbent merges a piggybacked best-known solution.
-func (n *node) observeIncumbent(v float64) {
-	if v < n.incumbent {
-		n.incumbent = v
-	}
-}
-
-// handleWorkRequest grants half the pool (up to MaxShare) if the node has
-// enough problems, else denies. A terminated node answers with the root
-// report so the requester can terminate too.
-func (n *node) handleWorkRequest(from sim.NodeID) {
-	cfg := &n.h.cfg
-	if n.terminated {
-		n.h.nw.Send(n.id, from, msgReport{codes: []code.Code{code.Root()}, incumbent: n.incumbent, actAge: n.activityAge()})
-		return
-	}
-	if n.pool.Len() < cfg.MinPoolToShare {
-		n.h.nw.Send(n.id, from, msgWorkDeny{incumbent: n.incumbent, actAge: n.activityAge()})
-		return
-	}
-	k := n.pool.Len() / 2
-	if k > cfg.MaxShare {
-		k = cfg.MaxShare
-	}
-	codes := make([]code.Code, 0, k)
-	for i := 0; i < k; i++ {
-		it := n.pool.steal()
-		codes = append(codes, it.c)
-	}
-	n.h.nw.Send(n.id, from, msgWorkGrant{codes: codes, incumbent: n.incumbent, actAge: n.activityAge()})
-	n.met.WorkSent += len(codes)
-	n.met.Add(metrics.LB, cfg.CommOverhead)
-}
-
-// handleGrant adopts transferred problems.
-func (n *node) handleGrant(g msgWorkGrant) {
-	if n.reqPending {
-		n.reqPending = false
-		n.reqTimer.Cancel()
-	}
-	got := 0
-	for _, c := range g.codes {
-		idx, ok := n.h.tree.Locate(c)
-		if !ok || n.table.Contains(c) {
-			continue
-		}
-		n.pool.push(poolItem{c: c, idx: idx, bound: n.h.tree.Nodes[idx].Bound})
-		got++
-	}
-	if n.pool.Len() > n.met.PeakPool {
-		n.met.PeakPool = n.pool.Len()
-	}
-	if got > 0 {
-		n.failedReqs = 0
-		n.lastProgress = n.h.k.Now()
-	} else {
-		n.reqFailed()
-	}
-	n.met.Add(metrics.LB, n.h.cfg.CommOverhead*float64(1+len(g.codes)/8))
 }
 
 // --- termination ---------------------------------------------------------------
 
-// detectTermination fires when contraction reached the root code (§5.4):
-// the node broadcasts one final root report to every member it knows of,
-// then stops.
-func (n *node) detectTermination() {
-	n.terminated = true
+// onTerminated records the core's termination detection (§5.4): the core
+// already broadcast the final root report; the driver settles the books.
+func (n *node) onTerminated() {
+	n.done = true
 	n.detectedAt = n.h.k.Now()
 	n.endIdle()
-	n.met.ObserveTable(n.table.WireSize())
-	if n.reqTimer != nil {
-		n.reqTimer.Cancel()
-	}
-	msg := msgReport{codes: []code.Code{code.Root()}, incumbent: n.incumbent, actAge: n.activityAge()}
-	for _, p := range n.h.view(n.id) {
-		n.h.nw.Send(n.id, p, msg)
-	}
+	n.met.ObserveTable(n.core.Table().WireSize())
+	n.reqTimer.Cancel()
 	n.h.noteTermination(n)
 }
 
@@ -669,7 +360,5 @@ func (n *node) crash() {
 	n.endIdle()
 	n.crashed = true
 	n.inbox = nil
-	if n.reqTimer != nil {
-		n.reqTimer.Cancel()
-	}
+	n.reqTimer.Cancel()
 }

@@ -8,6 +8,7 @@ import (
 	"gossipbnb/internal/ctree"
 	"gossipbnb/internal/member"
 	"gossipbnb/internal/metrics"
+	"gossipbnb/internal/protocol"
 	"gossipbnb/internal/sim"
 	"gossipbnb/internal/trace"
 )
@@ -168,7 +169,7 @@ func Run(tree *btree.Tree, cfg Config) Result {
 
 	// Process 0 starts with the original problem; everyone else pulls work
 	// through the load-balancing mechanism.
-	h.nodes[0].pool.push(poolItem{c: code.Root(), idx: 0, bound: tree.Nodes[0].Bound})
+	h.nodes[0].core.Seed(protocol.TreeExpander{Tree: tree}.Root())
 
 	for i := range h.nodes {
 		n := h.nodes[i]
@@ -219,15 +220,29 @@ func Run(tree *btree.Tree, cfg Config) Result {
 	res.Terminated = true
 	anyDetected := false
 	for i, n := range h.nodes {
+		// Fold the core's protocol-event tallies into the metrics. The
+		// driver accounts only what the substrate defines (time splits,
+		// storage peaks, expansions it paid for); event counts are the
+		// core's, so a termination broadcast is not a "work report" in the
+		// experiment tables.
+		cnt := n.core.Counters()
+		n.met.ReportsSent = cnt.ReportsSent
+		n.met.ReportCodes = cnt.ReportCodes
+		n.met.ReportedComps = cnt.ReportedComps
+		n.met.TablesSent = cnt.TablesSent
+		n.met.WorkRequests = cnt.WorkRequests
+		n.met.WorkSent = cnt.WorkSent
+		n.met.Recoveries = cnt.Recoveries
+		n.met.PeakPool = cnt.PeakPool
 		switch {
 		case n.crashed:
 			res.DetectTimes[i] = math.NaN()
 			cfg.Trace.Add(i, trace.Dead, crashTime[i], traceEnd)
-		case n.terminated:
+		case n.done:
 			res.DetectTimes[i] = n.detectedAt
 			anyDetected = true
-			if n.incumbent < res.Optimum {
-				res.Optimum = n.incumbent
+			if opt := n.core.Incumbent(); opt < res.Optimum {
+				res.Optimum = opt
 			}
 		default:
 			res.DetectTimes[i] = math.Inf(1)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gossipbnb/internal/btree"
+	"gossipbnb/internal/protocol"
 )
 
 func liveTree(seed int64, size int) *btree.Tree {
@@ -92,7 +93,7 @@ func TestTimeoutReported(t *testing.T) {
 func TestTransportStats(t *testing.T) {
 	tr := NewTransport(1, nil, 0)
 	ch := tr.Register(1)
-	tr.Send(0, 1, liveDeny{})
+	tr.Send(0, 1, protocol.WorkDeny{})
 	select {
 	case env := <-ch:
 		if env.From != 0 {
@@ -102,8 +103,8 @@ func TestTransportStats(t *testing.T) {
 		t.Fatal("message not delivered")
 	}
 	sent, dropped, bytes := tr.Stats()
-	if sent != 1 || dropped != 0 || bytes != 9 {
-		t.Errorf("stats = %d %d %d", sent, dropped, bytes)
+	if want := int64(protocol.WorkDeny{}.Size()); sent != 1 || dropped != 0 || bytes != want {
+		t.Errorf("stats = %d %d %d, want 1 0 %d", sent, dropped, bytes, want)
 	}
 }
 
@@ -111,7 +112,7 @@ func TestTransportCrashDrops(t *testing.T) {
 	tr := NewTransport(1, nil, 0)
 	ch := tr.Register(1)
 	tr.Crash(1)
-	tr.Send(0, 1, liveDeny{})
+	tr.Send(0, 1, protocol.WorkDeny{})
 	select {
 	case <-ch:
 		t.Error("delivered to crashed node")
@@ -126,7 +127,7 @@ func TestTransportLoss(t *testing.T) {
 	tr := NewTransport(7, nil, 1.0)
 	tr.Register(1)
 	for i := 0; i < 100; i++ {
-		tr.Send(0, 1, liveDeny{})
+		tr.Send(0, 1, protocol.WorkDeny{})
 	}
 	_, dropped, _ := tr.Stats()
 	if dropped != 100 {

@@ -7,8 +7,7 @@ import (
 	"time"
 
 	"gossipbnb/internal/btree"
-	"gossipbnb/internal/code"
-	"gossipbnb/internal/ctree"
+	"gossipbnb/internal/protocol"
 )
 
 // Config parameterizes a live cluster.
@@ -27,10 +26,15 @@ type Config struct {
 	// sockets. The cluster closes the network when Run returns.
 	Network Net
 	// Protocol parameters, as in the simulator.
-	ReportBatch   int
-	ReportFanout  int
-	RetryDelay    time.Duration
-	RecoveryQuiet time.Duration
+	Select           protocol.SelectRule
+	Prune            bool
+	ReportBatch      int
+	ReportFanout     int
+	MinPoolToShare   int
+	MaxShare         int
+	RecoveryPatience int
+	RetryDelay       time.Duration
+	RecoveryQuiet    time.Duration
 	// Timeout bounds Run's wall-clock time.
 	Timeout time.Duration
 }
@@ -42,12 +46,9 @@ func (c Config) withDefaults() Config {
 	if c.TimeScale <= 0 {
 		c.TimeScale = 0.001
 	}
-	if c.ReportBatch <= 0 {
-		c.ReportBatch = 8
-	}
-	if c.ReportFanout <= 0 {
-		c.ReportFanout = 2
-	}
+	// Protocol parameters (ReportBatch, MaxShare, …) are left at zero here:
+	// protocol.Config applies the shared defaults, so the two runtimes
+	// cannot drift apart. Only driver-read fields get defaults.
 	if c.RetryDelay <= 0 {
 		c.RetryDelay = 5 * time.Millisecond
 	}
@@ -71,63 +72,20 @@ type Result struct {
 	BytesSent  int64
 }
 
-// message types (sizes mirror the simulator's wire model)
-
-type liveReport struct {
-	codes     []code.Code
-	incumbent float64
-}
-
-func (m liveReport) Size() int {
-	n := 9
-	for _, c := range m.codes {
-		n += c.WireSize()
-	}
-	return n
-}
-
-type liveRequest struct{ incumbent float64 }
-
-func (liveRequest) Size() int { return 9 }
-
-type liveGrant struct {
-	codes     []code.Code
-	incumbent float64
-}
-
-func (m liveGrant) Size() int {
-	n := 9
-	for _, c := range m.codes {
-		n += c.WireSize()
-	}
-	return n
-}
-
-type liveDeny struct{ incumbent float64 }
-
-func (liveDeny) Size() int { return 9 }
-
-// liveNode is one goroutine-backed process.
+// liveNode is one goroutine-backed process: a protocol.Core plus the
+// wall-clock substrate — real sleeps for subproblem costs, a channel inbox,
+// and real elapsed time for the recovery quiet window. All protocol
+// decisions live in the core, which is confined to this node's goroutine.
 type liveNode struct {
-	id      NodeID
-	cl      *Cluster
-	inbox   <-chan Envelope
-	pool    []poolEntry // managed as a heap by the node goroutine only
-	table   *ctree.Table
-	outbox  *ctree.Table
-	incum   float64
+	id    NodeID
+	cl    *Cluster
+	inbox <-chan Envelope
+	core  *protocol.Core
+
 	crashed atomic.Bool
 	done    atomic.Bool
 
-	failedReqs   int
-	lastProgress time.Time
-	expanded     int
-}
-
-type poolEntry struct {
-	c     code.Code
-	idx   int32
-	bound float64
+	lastProbe time.Time // paces starvation probes RetryDelay apart
 }
 
 // Cluster wires live nodes over a shared transport.
@@ -135,13 +93,28 @@ type Cluster struct {
 	cfg     Config
 	tree    *btree.Tree
 	tr      Net
+	start   time.Time
 	nodes   []*liveNode
 	wg      sync.WaitGroup
 	doneCh  chan NodeID
 	stopAll chan struct{}
-	peersMu sync.Mutex
 	rngMu   sync.Mutex
 	rngSeed int64
+}
+
+// liveClock is the cluster's shared protocol clock: wall-clock seconds
+// since construction. The protocol never compares clocks across processes,
+// only local differences, so one shared epoch is merely convenient.
+type liveClock struct{ start time.Time }
+
+func (c liveClock) Now() float64 { return time.Since(c.start).Seconds() }
+
+// liveSender transmits a core's canonical messages over the cluster
+// transport.
+type liveSender struct{ n *liveNode }
+
+func (s liveSender) Send(to protocol.NodeID, m protocol.Msg) {
+	s.n.cl.tr.Send(s.n.id, NodeID(to), m)
 }
 
 // NewCluster builds a cluster solving tree under cfg.
@@ -155,24 +128,35 @@ func NewCluster(tree *btree.Tree, cfg Config) *Cluster {
 		cfg:     cfg,
 		tree:    tree,
 		tr:      tr,
+		start:   time.Now(),
 		doneCh:  make(chan NodeID, cfg.Nodes),
 		stopAll: make(chan struct{}),
 		rngSeed: cfg.Seed,
 	}
+	clock := liveClock{start: cl.start}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := NodeID(i)
-		n := &liveNode{
-			id:           id,
-			cl:           cl,
-			inbox:        cl.tr.Register(id),
-			table:        ctree.New(),
-			outbox:       ctree.New(),
-			incum:        math.Inf(1),
-			lastProgress: time.Now(),
-		}
+		n := &liveNode{id: id, cl: cl, inbox: cl.tr.Register(id)}
+		n.core = protocol.New(protocol.NodeID(id), protocol.Config{
+			Select:           cfg.Select,
+			Prune:            cfg.Prune,
+			ReportBatch:      cfg.ReportBatch,
+			ReportFanout:     cfg.ReportFanout,
+			MinPoolToShare:   cfg.MinPoolToShare,
+			MaxShare:         cfg.MaxShare,
+			RecoveryPatience: cfg.RecoveryPatience,
+			RecoveryQuiet:    cfg.RecoveryQuiet.Seconds(),
+		}, protocol.Deps{
+			Clock:     clock,
+			Sender:    liveSender{n},
+			Expander:  protocol.TreeExpander{Tree: tree},
+			Peers:     n.peers,
+			Rand:      cl.rand,
+			RandFloat: cl.randFloat,
+		})
 		cl.nodes = append(cl.nodes, n)
 	}
-	cl.nodes[0].pool = []poolEntry{{c: code.Root(), idx: 0, bound: tree.Nodes[0].Bound}}
+	cl.nodes[0].core.Seed(protocol.TreeExpander{Tree: tree}.Root())
 	return cl
 }
 
@@ -189,6 +173,16 @@ func (cl *Cluster) rand(n int) int {
 	cl.rngMu.Lock()
 	cl.rngSeed = cl.rngSeed*6364136223846793005 + 1442695040888963407
 	v := int(uint64(cl.rngSeed>>33) % uint64(n))
+	cl.rngMu.Unlock()
+	return v
+}
+
+// randFloat returns a pseudo-random float64 in [0, 1), safe for concurrent
+// callers.
+func (cl *Cluster) randFloat() float64 {
+	cl.rngMu.Lock()
+	cl.rngSeed = cl.rngSeed*6364136223846793005 + 1442695040888963407
+	v := float64(uint64(cl.rngSeed)>>11) / (1 << 53)
 	cl.rngMu.Unlock()
 	return v
 }
@@ -235,14 +229,14 @@ loop:
 	crashedCount := 0
 	terminatedAll := true
 	for _, n := range cl.nodes {
-		res.Expanded += n.expanded
+		res.Expanded += n.core.Counters().Expanded
 		if n.crashed.Load() {
 			crashedCount++
 			continue
 		}
 		if n.done.Load() {
-			if n.incum < res.Optimum {
-				res.Optimum = n.incum
+			if opt := n.core.Incumbent(); opt < res.Optimum {
+				res.Optimum = opt
 			}
 		} else {
 			terminatedAll = false
@@ -253,6 +247,19 @@ loop:
 	sent, _, bytes := cl.tr.Stats()
 	res.MsgsSent, res.BytesSent = sent, bytes
 	return res
+}
+
+// peers returns every other process (the predetermined resource pool of the
+// paper's experiments, crashed members included — failures only manifest as
+// unanswered requests).
+func (n *liveNode) peers() []protocol.NodeID {
+	out := make([]protocol.NodeID, 0, len(n.cl.nodes)-1)
+	for i := range n.cl.nodes {
+		if NodeID(i) != n.id {
+			out = append(out, protocol.NodeID(i))
+		}
+	}
+	return out
 }
 
 // run is the node goroutine: alternate work and message handling, exactly
@@ -270,13 +277,11 @@ func (n *liveNode) run() {
 			return
 		}
 		if n.done.Load() {
-			// Terminated: keep answering work requests with the root report
-			// so stragglers can terminate too.
+			// Terminated: keep handling messages — the core answers work
+			// requests with the root report so stragglers terminate too.
 			select {
 			case env := <-n.inbox:
-				if _, ok := env.Msg.(liveRequest); ok {
-					n.cl.tr.Send(n.id, env.From, liveReport{codes: []code.Code{code.Root()}, incumbent: n.incum})
-				}
+				n.handle(env)
 			case <-n.cl.stopAll:
 				return
 			}
@@ -292,197 +297,91 @@ func (n *liveNode) run() {
 				drained = true
 			}
 		}
-		if n.table.Complete() {
-			n.terminate()
-			continue
-		}
-		if it, ok := n.popWork(); ok {
+		it, st := n.core.Next()
+		switch st {
+		case protocol.Expand:
 			n.expand(it)
-			continue
+		case protocol.Terminated:
+			n.terminate()
+		case protocol.Starved:
+			n.starve()
 		}
-		n.starve()
 	}
 }
 
-// popWork pops the best pool entry not already completed elsewhere.
-func (n *liveNode) popWork() (poolEntry, bool) {
-	for len(n.pool) > 0 {
-		best := 0
-		for i := range n.pool {
-			if n.pool[i].bound < n.pool[best].bound {
-				best = i
-			}
-		}
-		it := n.pool[best]
-		n.pool = append(n.pool[:best], n.pool[best+1:]...)
-		if n.table.Contains(it.c) {
-			continue
-		}
-		return it, true
+// handle feeds one delivered message to the core.
+func (n *liveNode) handle(env Envelope) protocol.Effect {
+	pm, ok := env.Msg.(protocol.Msg)
+	if !ok {
+		return protocol.Effect{}
 	}
-	return poolEntry{}, false
+	return n.core.HandleMessage(protocol.NodeID(env.From), pm)
 }
 
-// expand sleeps the scaled node cost and applies the branching outcome.
-func (n *liveNode) expand(it poolEntry) {
-	tn := &n.cl.tree.Nodes[it.idx]
-	time.Sleep(time.Duration(tn.Cost * n.cl.cfg.TimeScale * float64(time.Second)))
+// expand sleeps the scaled node cost and reports the branching outcome.
+func (n *liveNode) expand(it protocol.Item) {
+	cost := n.cl.tree.Nodes[it.Ref].Cost * n.cl.cfg.TimeScale
+	time.Sleep(time.Duration(cost * float64(time.Second)))
 	if n.crashed.Load() {
 		return
 	}
-	n.expanded++
-	if tn.Feasible && tn.Bound < n.incum {
-		n.incum = tn.Bound
-	}
-	if tn.Leaf() {
-		n.complete(it.c)
-		return
-	}
-	for b := uint8(0); b < 2; b++ {
-		childCode := it.c.Child(tn.BranchVar, b)
-		if n.table.Contains(childCode) {
-			continue
-		}
-		childIdx := tn.Children[b]
-		n.pool = append(n.pool, poolEntry{c: childCode, idx: childIdx, bound: n.cl.tree.Nodes[childIdx].Bound})
-	}
+	n.core.OnExpanded(it, protocol.TreeExpander{Tree: n.cl.tree}.Outcome(it), cost)
 }
 
-// complete records a completion and ships reports when the batch fills.
-func (n *liveNode) complete(c code.Code) {
-	if changed, err := n.table.Insert(c); err != nil || !changed {
-		return
-	}
-	n.outbox.Insert(c)
-	if n.outbox.Len() >= n.cl.cfg.ReportBatch {
-		n.sendReport()
-	}
-}
-
-func (n *liveNode) sendReport() {
-	codes := n.outbox.Codes()
-	if len(codes) == 0 || len(n.cl.nodes) == 1 {
-		n.outbox = ctree.New()
-		return
-	}
-	n.outbox = ctree.New()
-	msg := liveReport{codes: codes, incumbent: n.incum}
-	for i := 0; i < n.cl.cfg.ReportFanout; i++ {
-		n.cl.tr.Send(n.id, n.randomPeer(), msg)
-	}
-}
-
-func (n *liveNode) randomPeer() NodeID {
-	p := NodeID(n.cl.rand(len(n.cl.nodes) - 1))
-	if p >= n.id {
-		p++
-	}
-	return p
-}
-
-// starve requests work, pushes the table (spreading completion info), and
-// falls back to complement recovery after a quiet period.
+// starve runs the core's out-of-work decision, then supplies the substrate
+// side: a bounded wait standing in for the simulator's request timer, or
+// the complement recovery the core planned.
 func (n *liveNode) starve() {
-	if len(n.cl.nodes) == 1 {
-		n.recoverLost()
-		return
+	// Pace probes RetryDelay apart no matter how full the inbox is — the
+	// wall-clock analogue of the simulator's retry pacing. Without it a
+	// cluster of starving processes answers every incoming message with a
+	// fresh probe and storms itself at network speed.
+	if wait := n.cl.cfg.RetryDelay - time.Since(n.lastProbe); wait > 0 {
+		select {
+		case env := <-n.inbox:
+			n.handle(env)
+			return
+		case <-time.After(wait):
+		case <-n.cl.stopAll:
+			return
+		}
 	}
-	if n.outbox.Len() > 0 {
-		n.sendReport()
-	}
-	peer := n.randomPeer()
-	n.cl.tr.Send(n.id, peer, liveRequest{incumbent: n.incum})
-	if n.failedReqs > 0 {
-		n.cl.tr.Send(n.id, n.randomPeer(), liveReport{codes: n.table.Codes(), incumbent: n.incum})
-	}
-	// Wait for an answer or anything else.
-	select {
-	case env := <-n.inbox:
-		n.handle(env)
-	case <-time.After(n.cl.cfg.RetryDelay):
-		n.failedReqs++
-	case <-n.cl.stopAll:
-		return
-	}
-	if len(n.pool) == 0 && n.failedReqs >= 3 &&
-		time.Since(n.lastProgress) > n.cl.cfg.RecoveryQuiet {
-		n.recoverLost()
+	switch n.core.Starve() {
+	case protocol.StarveRecover:
+		if plan := n.core.PlanRecovery(); len(plan) > 0 {
+			n.core.Adopt(plan)
+		}
+	case protocol.StarveRequested:
+		n.lastProbe = time.Now()
+		// Wait for the answer — or anything else worth reacting to.
+		select {
+		case env := <-n.inbox:
+			if eff := n.handle(env); !eff.Answered {
+				// Not the answer; don't count a failed attempt, just
+				// re-enter the loop (the next starve probes again).
+				n.core.AbandonRequest()
+			}
+		case <-time.After(n.cl.cfg.RetryDelay):
+			n.core.RequestFailed()
+		case <-n.cl.stopAll:
+		}
+	case protocol.StarveWait:
+		// Nothing to send (e.g. a lone process inside the quiet window):
+		// pace the retry.
+		select {
+		case env := <-n.inbox:
+			n.handle(env)
+		case <-time.After(n.cl.cfg.RetryDelay):
+		case <-n.cl.stopAll:
+		}
 	}
 }
 
-// recoverLost adopts uncompleted problems from the table complement.
-func (n *liveNode) recoverLost() {
-	for _, c := range n.table.Complement(4) {
-		if idx, ok := n.cl.tree.Locate(c); ok && !n.table.Contains(c) {
-			n.pool = append(n.pool, poolEntry{c: c, idx: idx, bound: n.cl.tree.Nodes[idx].Bound})
-		}
-	}
-}
-
-// handle processes one message.
-func (n *liveNode) handle(env Envelope) {
-	switch t := env.Msg.(type) {
-	case liveReport:
-		if t.incumbent < n.incum {
-			n.incum = t.incumbent
-		}
-		if changed, _ := n.table.InsertAll(t.codes); changed > 0 {
-			n.lastProgress = time.Now()
-		}
-	case liveRequest:
-		if t.incumbent < n.incum {
-			n.incum = t.incumbent
-		}
-		if len(n.pool) >= 2 {
-			k := len(n.pool) / 2
-			if k > 16 {
-				k = 16
-			}
-			var codes []code.Code
-			for i := 0; i < k; i++ {
-				it, ok := n.popWork()
-				if !ok {
-					break
-				}
-				codes = append(codes, it.c)
-			}
-			n.cl.tr.Send(n.id, env.From, liveGrant{codes: codes, incumbent: n.incum})
-		} else {
-			n.cl.tr.Send(n.id, env.From, liveDeny{incumbent: n.incum})
-		}
-	case liveGrant:
-		if t.incumbent < n.incum {
-			n.incum = t.incumbent
-		}
-		got := 0
-		for _, c := range t.codes {
-			if idx, ok := n.cl.tree.Locate(c); ok && !n.table.Contains(c) {
-				n.pool = append(n.pool, poolEntry{c: c, idx: idx, bound: n.cl.tree.Nodes[idx].Bound})
-				got++
-			}
-		}
-		if got > 0 {
-			n.failedReqs = 0
-			n.lastProgress = time.Now()
-		}
-	case liveDeny:
-		if t.incumbent < n.incum {
-			n.incum = t.incumbent
-		}
-		n.failedReqs++
-	}
-}
-
-// terminate broadcasts the root report and signals the cluster.
+// terminate signals the cluster; the core already broadcast the final root
+// report of §5.4.
 func (n *liveNode) terminate() {
 	if n.done.Swap(true) {
 		return
-	}
-	msg := liveReport{codes: []code.Code{code.Root()}, incumbent: n.incum}
-	for i := range n.cl.nodes {
-		if NodeID(i) != n.id {
-			n.cl.tr.Send(n.id, NodeID(i), msg)
-		}
 	}
 	n.cl.doneCh <- n.id
 }

@@ -4,11 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"sync"
 
-	"gossipbnb/internal/code"
+	"gossipbnb/internal/protocol"
 )
 
 // TCPNetwork runs the live protocol over real TCP sockets on the loopback
@@ -243,16 +242,13 @@ func (t *TCPNetwork) drop() {
 
 // --- wire format ---------------------------------------------------------------
 //
-// frame  := u32(len) body           (len = length of body)
-// body   := u8(type) uvarint(from) f64(incumbent) [codes]
-// codes  := code.AppendAll encoding (report and grant only)
-
-const (
-	frameReport byte = iota + 1
-	frameRequest
-	frameGrant
-	frameDeny
-)
+// frame := u32(len) body            (len = length of body)
+// body  := uvarint(from) msg        (msg = the canonical protocol codec)
+//
+// The message payload is encoded and decoded by internal/protocol — the one
+// codec shared with every other transport — so the frame adds only what TCP
+// itself needs: a length prefix for the stream and the sender identity the
+// socket does not carry.
 
 // maxFrame bounds a frame body; far above any real table push, it only
 // guards against corrupt length prefixes.
@@ -260,26 +256,14 @@ const maxFrame = 16 << 20
 
 // appendFrame marshals one message as a frame.
 func appendFrame(dst []byte, from NodeID, msg Message) ([]byte, error) {
-	var body []byte
-	put := func(kind byte, incumbent float64, codes []code.Code) {
-		body = append(body, kind)
-		body = binary.AppendUvarint(body, uint64(from))
-		body = binary.LittleEndian.AppendUint64(body, math.Float64bits(incumbent))
-		if kind == frameReport || kind == frameGrant {
-			body = code.AppendAll(body, codes)
-		}
-	}
-	switch m := msg.(type) {
-	case liveReport:
-		put(frameReport, m.incumbent, m.codes)
-	case liveRequest:
-		put(frameRequest, m.incumbent, nil)
-	case liveGrant:
-		put(frameGrant, m.incumbent, m.codes)
-	case liveDeny:
-		put(frameDeny, m.incumbent, nil)
-	default:
+	pm, ok := msg.(protocol.Msg)
+	if !ok {
 		return nil, fmt.Errorf("live: cannot marshal %T", msg)
+	}
+	body := binary.AppendUvarint(nil, uint64(from))
+	body, err := protocol.Encode(body, pm)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
 	return append(dst, body...), nil
@@ -299,36 +283,16 @@ func readFrame(r io.Reader) (Envelope, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Envelope{}, err
 	}
-	kind := body[0]
-	rest := body[1:]
-	from, k := binary.Uvarint(rest)
+	from, k := binary.Uvarint(body)
 	if k <= 0 {
 		return Envelope{}, fmt.Errorf("live: bad frame sender")
 	}
-	rest = rest[k:]
-	if len(rest) < 8 {
-		return Envelope{}, fmt.Errorf("live: truncated frame")
+	m, used, err := protocol.Decode(body[k:])
+	if err != nil {
+		return Envelope{}, fmt.Errorf("live: frame payload: %w", err)
 	}
-	incumbent := math.Float64frombits(binary.LittleEndian.Uint64(rest[:8]))
-	rest = rest[8:]
-	env := Envelope{From: NodeID(from)}
-	switch kind {
-	case frameReport, frameGrant:
-		codes, _, err := code.DecodeAll(rest)
-		if err != nil {
-			return Envelope{}, fmt.Errorf("live: frame codes: %w", err)
-		}
-		if kind == frameReport {
-			env.Msg = liveReport{codes: codes, incumbent: incumbent}
-		} else {
-			env.Msg = liveGrant{codes: codes, incumbent: incumbent}
-		}
-	case frameRequest:
-		env.Msg = liveRequest{incumbent: incumbent}
-	case frameDeny:
-		env.Msg = liveDeny{incumbent: incumbent}
-	default:
-		return Envelope{}, fmt.Errorf("live: unknown frame type %d", kind)
+	if k+used != len(body) {
+		return Envelope{}, fmt.Errorf("live: %d trailing bytes in frame", len(body)-k-used)
 	}
-	return env, nil
+	return Envelope{From: NodeID(from), Msg: m}, nil
 }

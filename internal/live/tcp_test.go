@@ -9,6 +9,7 @@ import (
 
 	"gossipbnb/internal/btree"
 	"gossipbnb/internal/code"
+	"gossipbnb/internal/protocol"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -17,10 +18,11 @@ func TestFrameRoundTrip(t *testing.T) {
 		code.Root().Child(1, 0).Child(2, 1),
 	}
 	cases := []Message{
-		liveReport{codes: codes, incumbent: 3.5},
-		liveRequest{incumbent: math.Inf(1)},
-		liveGrant{codes: codes[1:], incumbent: -2},
-		liveDeny{incumbent: 0},
+		protocol.Report{Codes: codes, Incumbent: 3.5, ActAge: 1},
+		protocol.TableMsg{Codes: codes, Incumbent: 9},
+		protocol.WorkRequest{Incumbent: math.Inf(1)},
+		protocol.WorkGrant{Codes: codes[1:], Incumbent: -2},
+		protocol.WorkDeny{Incumbent: 0, ActAge: 4},
 	}
 	for _, msg := range cases {
 		frame, err := appendFrame(nil, 7, msg)
@@ -35,28 +37,32 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Errorf("%T: From = %d", msg, env.From)
 		}
 		switch want := msg.(type) {
-		case liveReport:
-			got := env.Msg.(liveReport)
-			if got.incumbent != want.incumbent || len(got.codes) != len(want.codes) {
+		case protocol.Report:
+			got := env.Msg.(protocol.Report)
+			if got.Incumbent != want.Incumbent || got.ActAge != want.ActAge || len(got.Codes) != len(want.Codes) {
 				t.Errorf("report mismatch: %+v vs %+v", got, want)
 			}
-			for i := range want.codes {
-				if !got.codes[i].Equal(want.codes[i]) {
+			for i := range want.Codes {
+				if !got.Codes[i].Equal(want.Codes[i]) {
 					t.Errorf("report code %d mismatch", i)
 				}
 			}
-		case liveRequest:
-			if env.Msg.(liveRequest).incumbent != want.incumbent {
+		case protocol.TableMsg:
+			if got := env.Msg.(protocol.TableMsg); len(got.Codes) != len(want.Codes) {
+				t.Error("table codes mismatch")
+			}
+		case protocol.WorkRequest:
+			if env.Msg.(protocol.WorkRequest).Incumbent != want.Incumbent {
 				t.Error("request incumbent mismatch")
 			}
-		case liveGrant:
-			got := env.Msg.(liveGrant)
-			if len(got.codes) != len(want.codes) {
+		case protocol.WorkGrant:
+			if got := env.Msg.(protocol.WorkGrant); len(got.Codes) != len(want.Codes) {
 				t.Error("grant codes mismatch")
 			}
-		case liveDeny:
-			if env.Msg.(liveDeny).incumbent != want.incumbent {
-				t.Error("deny incumbent mismatch")
+		case protocol.WorkDeny:
+			got := env.Msg.(protocol.WorkDeny)
+			if got.Incumbent != want.Incumbent || got.ActAge != want.ActAge {
+				t.Error("deny mismatch")
 			}
 		}
 	}
@@ -74,11 +80,19 @@ func TestFrameRejectsGarbage(t *testing.T) {
 	if _, err := readFrame(bytes.NewReader([]byte{255, 255, 255, 255})); err == nil {
 		t.Error("oversized frame accepted")
 	}
-	// Unknown type.
-	frame, _ := appendFrame(nil, 1, liveDeny{})
-	frame[4] = 99
+	// Unknown message kind (frame layout: u32 len, uvarint from=1 byte,
+	// then the codec's kind byte).
+	frame, _ := appendFrame(nil, 1, protocol.WorkDeny{})
+	frame[5] = 99
 	if _, err := readFrame(bytes.NewReader(frame)); err == nil {
-		t.Error("unknown frame type accepted")
+		t.Error("unknown message kind accepted")
+	}
+	// Trailing garbage after a valid payload.
+	frame, _ = appendFrame(nil, 1, protocol.WorkDeny{})
+	frame = append(frame, 0xAB)
+	frame[0] += 1 // extend the declared body length over the garbage byte
+	if _, err := readFrame(bytes.NewReader(frame)); err == nil {
+		t.Error("trailing frame bytes accepted")
 	}
 	if _, err := appendFrame(nil, 1, nil); err == nil {
 		t.Error("nil message marshalled")
@@ -92,13 +106,13 @@ func TestTCPDelivery(t *testing.T) {
 	}
 	defer nw.Close()
 	inbox := nw.Register(1)
-	nw.Send(0, 1, liveDeny{incumbent: 42})
+	nw.Send(0, 1, protocol.WorkDeny{Incumbent: 42})
 	select {
 	case env := <-inbox:
 		if env.From != 0 {
 			t.Errorf("From = %d", env.From)
 		}
-		if got := env.Msg.(liveDeny).incumbent; got != 42 {
+		if got := env.Msg.(protocol.WorkDeny).Incumbent; got != 42 {
 			t.Errorf("incumbent = %g", got)
 		}
 	case <-time.After(5 * time.Second):
@@ -122,7 +136,7 @@ func TestTCPManyMessagesOneConnection(t *testing.T) {
 	inbox := nw.Register(1)
 	const n = 500
 	for i := 0; i < n; i++ {
-		nw.Send(0, 1, liveRequest{incumbent: float64(i)})
+		nw.Send(0, 1, protocol.WorkRequest{Incumbent: float64(i)})
 	}
 	got := 0
 	deadline := time.After(10 * time.Second)
@@ -144,7 +158,7 @@ func TestTCPCrashSilences(t *testing.T) {
 	defer nw.Close()
 	inbox := nw.Register(1)
 	nw.Crash(1)
-	nw.Send(0, 1, liveDeny{})
+	nw.Send(0, 1, protocol.WorkDeny{})
 	select {
 	case <-inbox:
 		t.Error("delivered to crashed node")
@@ -208,7 +222,7 @@ func TestTCPCloseIdempotent(t *testing.T) {
 	}
 	nw.Close()
 	nw.Close() // must not panic or deadlock
-	nw.Send(0, 0, liveDeny{})
+	nw.Send(0, 0, protocol.WorkDeny{})
 	_, dropped, _ := nw.Stats()
 	_ = dropped // sends after close are silently refused
 }

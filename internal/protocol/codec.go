@@ -1,0 +1,103 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"gossipbnb/internal/code"
+)
+
+// The canonical binary encoding, shared by every transport that needs bytes
+// (the TCP runtime today; any future wire goes through the same codec):
+//
+//	msg    := u8(kind) f64le(incumbent) f64le(actAge) [codes]
+//	codes  := code.AppendAll encoding (report, table, and grant only)
+//
+// The encoding is self-delimiting, so messages can be concatenated; Decode
+// returns the number of bytes consumed. Encode produces exactly Size() bytes.
+
+// Message kind bytes. Zero is deliberately invalid so an all-zero buffer
+// never decodes.
+const (
+	kindReport byte = iota + 1
+	kindTable
+	kindRequest
+	kindGrant
+	kindDeny
+)
+
+// Encode appends the wire encoding of m to dst and returns the extended
+// slice. It fails only on a message type outside the canonical set.
+func Encode(dst []byte, m Msg) ([]byte, error) {
+	put := func(kind byte, incumbent, actAge float64, codes []code.Code, withCodes bool) {
+		dst = append(dst, kind)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(incumbent))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(actAge))
+		if withCodes {
+			dst = code.AppendAll(dst, codes)
+		}
+	}
+	switch t := m.(type) {
+	case Report:
+		put(kindReport, t.Incumbent, t.ActAge, t.Codes, true)
+	case TableMsg:
+		put(kindTable, t.Incumbent, t.ActAge, t.Codes, true)
+	case WorkRequest:
+		put(kindRequest, t.Incumbent, t.ActAge, nil, false)
+	case WorkGrant:
+		put(kindGrant, t.Incumbent, t.ActAge, t.Codes, true)
+	case WorkDeny:
+		put(kindDeny, t.Incumbent, t.ActAge, nil, false)
+	default:
+		return nil, fmt.Errorf("protocol: cannot encode %T", m)
+	}
+	return dst, nil
+}
+
+// Decode reads one message from the front of buf, returning the message and
+// the number of bytes consumed.
+func Decode(buf []byte) (Msg, int, error) {
+	if len(buf) < scalarSize {
+		return nil, 0, errors.New("protocol: truncated message")
+	}
+	kind := buf[0]
+	incumbent := math.Float64frombits(binary.LittleEndian.Uint64(buf[1:9]))
+	actAge := math.Float64frombits(binary.LittleEndian.Uint64(buf[9:17]))
+	off := scalarSize
+	readCodes := func() ([]code.Code, error) {
+		cs, n, err := code.DecodeAll(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		return cs, nil
+	}
+	switch kind {
+	case kindReport:
+		cs, err := readCodes()
+		if err != nil {
+			return nil, 0, fmt.Errorf("protocol: report codes: %w", err)
+		}
+		return Report{Codes: cs, Incumbent: incumbent, ActAge: actAge}, off, nil
+	case kindTable:
+		cs, err := readCodes()
+		if err != nil {
+			return nil, 0, fmt.Errorf("protocol: table codes: %w", err)
+		}
+		return TableMsg{Codes: cs, Incumbent: incumbent, ActAge: actAge}, off, nil
+	case kindRequest:
+		return WorkRequest{Incumbent: incumbent, ActAge: actAge}, off, nil
+	case kindGrant:
+		cs, err := readCodes()
+		if err != nil {
+			return nil, 0, fmt.Errorf("protocol: grant codes: %w", err)
+		}
+		return WorkGrant{Codes: cs, Incumbent: incumbent, ActAge: actAge}, off, nil
+	case kindDeny:
+		return WorkDeny{Incumbent: incumbent, ActAge: actAge}, off, nil
+	default:
+		return nil, 0, fmt.Errorf("protocol: unknown message kind %d", kind)
+	}
+}

@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"gossipbnb/internal/code"
+)
+
+func sampleCodes() []code.Code {
+	return []code.Code{
+		code.Root(),
+		code.Root().Child(1, 0).Child(2, 1),
+		code.Root().Child(300, 1), // multi-byte varint variable
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	codes := sampleCodes()
+	cases := []Msg{
+		Report{Codes: codes, Incumbent: 3.5, ActAge: 0.25},
+		TableMsg{Codes: codes[1:], Incumbent: -1, ActAge: 12},
+		WorkRequest{Incumbent: math.Inf(1), ActAge: 0},
+		WorkGrant{Codes: codes[1:], Incumbent: -2, ActAge: 7},
+		WorkDeny{Incumbent: 0, ActAge: 3},
+	}
+	for _, m := range cases {
+		buf, err := Encode(nil, m)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		if len(buf) != m.Size() {
+			t.Errorf("%T: Size() = %d but Encode produced %d bytes", m, m.Size(), len(buf))
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if n != len(buf) {
+			t.Errorf("%T: decode consumed %d of %d bytes", m, n, len(buf))
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%T round trip mismatch:\n got %+v\nwant %+v", m, got, m)
+		}
+	}
+}
+
+func TestCodecEmptyCodeBatches(t *testing.T) {
+	for _, m := range []Msg{Report{}, TableMsg{}, WorkGrant{}} {
+		buf, err := Encode(nil, m)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		got, _, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(m) {
+			t.Errorf("decoded %T, want %T", got, m)
+		}
+	}
+}
+
+func TestCodecSelfDelimiting(t *testing.T) {
+	// Concatenated messages decode one at a time.
+	a, _ := Encode(nil, WorkDeny{Incumbent: 1})
+	buf, _ := Encode(a, Report{Codes: sampleCodes(), Incumbent: 2})
+	first, n, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := first.(WorkDeny); !ok {
+		t.Fatalf("first = %T", first)
+	}
+	second, _, err := Decode(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := second.(Report); !ok {
+		t.Fatalf("second = %T", second)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	if _, _, err := Decode(make([]byte, 16)); err == nil {
+		t.Error("truncated scalars accepted")
+	}
+	if _, _, err := Decode(make([]byte, 17)); err == nil {
+		t.Error("kind 0 accepted")
+	}
+	buf, _ := Encode(nil, WorkDeny{})
+	buf[0] = 99
+	if _, _, err := Decode(buf); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Report whose code batch is cut off.
+	buf, _ = Encode(nil, Report{Codes: sampleCodes()})
+	if _, _, err := Decode(buf[:len(buf)-2]); err == nil {
+		t.Error("truncated code batch accepted")
+	}
+	if _, err := Encode(nil, nil); err == nil {
+		t.Error("nil message encoded")
+	}
+}
+
+// FuzzDecode throws arbitrary bytes at the codec: it must never panic, and
+// anything it accepts must survive an encode/decode round trip unchanged.
+// (Byte-identity is NOT required: varints have non-minimal encodings that
+// decode fine but re-encode shorter.)
+func FuzzDecode(f *testing.F) {
+	for _, m := range []Msg{
+		Report{Codes: sampleCodes(), Incumbent: 1, ActAge: 2},
+		TableMsg{Codes: sampleCodes()[1:], Incumbent: 3},
+		WorkRequest{Incumbent: 4},
+		WorkGrant{Codes: sampleCodes()[1:2], ActAge: 5},
+		WorkDeny{},
+	} {
+		buf, err := Encode(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re, err := Encode(nil, m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		m2, n2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if n2 != len(re) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(re))
+		}
+		// Compare canonical encodings: bit-exact even for NaN scalars,
+		// which reflect.DeepEqual would reject.
+		re2, err := Encode(nil, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(re) != string(re2) {
+			t.Fatalf("round trip changed the message:\n was %+v\n now %+v", m, m2)
+		}
+	})
+}

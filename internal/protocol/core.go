@@ -1,0 +1,684 @@
+// Package protocol implements the paper's §5 node state machine exactly
+// once, independent of clock and transport: the active-problem pool with the
+// selection rules of §2, the contracted completed-problem table and report
+// outbox of §5.3.2, adaptive report pacing, on-demand load balancing
+// (work request / grant / deny), failure recovery via the table complement,
+// and the almost-implicit termination detection of §5.4 — together with the
+// canonical wire-message set and its binary codec.
+//
+// A Core never schedules anything and never blocks. It talks to the world
+// through three small interfaces — Clock (what time is it), Sender (emit a
+// canonical message), Expander (resolve a self-contained code into a
+// problem) — plus a handful of function hooks, so the same state machine
+// runs under the deterministic virtual-time simulator (internal/dbnb) and
+// the wall-clock goroutine runtime (internal/live). Drivers own everything
+// the substrate defines: timers, busy periods, cost accounting, crash
+// delivery. The Core owns every protocol decision.
+package protocol
+
+import (
+	"math"
+
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/ctree"
+)
+
+// NodeID identifies a protocol participant. Drivers map it to their own
+// process identifiers (sim.NodeID, live.NodeID).
+type NodeID int
+
+// Clock supplies the protocol's notion of time, in seconds. The simulator
+// passes virtual time; the live runtime passes wall-clock seconds since
+// start. The protocol never compares clocks across nodes — only local
+// differences and relayed ages, which survive the unsynchronized clocks
+// of §4.
+type Clock interface {
+	Now() float64
+}
+
+// Sender transmits one canonical message. Sends must not block and may
+// silently drop — the asynchronous model of §4.
+type Sender interface {
+	Send(to NodeID, m Msg)
+}
+
+// Expander resolves a self-contained subproblem code into an active-problem
+// Item (driver handle plus bound). ok is false when the code does not
+// identify a node of the problem being solved.
+type Expander interface {
+	Locate(c code.Code) (Item, bool)
+}
+
+// SelectRule chooses which active problem a process branches next (§2).
+type SelectRule int
+
+// Selection rules.
+const (
+	BestFirst SelectRule = iota
+	DepthFirst
+)
+
+// Config carries the protocol parameters. All durations are in the driver's
+// clock unit (seconds).
+type Config struct {
+	// Select is the local selection rule (§2).
+	Select SelectRule
+	// Prune enables incumbent-based elimination.
+	Prune bool
+	// ReportBatch is c: completed codes accumulated before a work report is
+	// sent. ReportFanout is m: how many random members receive each report.
+	ReportBatch  int
+	ReportFanout int
+	// ReportTimeout flushes a non-empty outbox that has waited this long.
+	ReportTimeout float64
+	// AdaptiveReports scales the outbox flush timeout with the observed
+	// per-subproblem execution time (§6.3.1, §7).
+	AdaptiveReports bool
+	// MinPoolToShare is how many active problems a process must hold before
+	// it grants work away. MaxShare caps problems per grant.
+	MinPoolToShare int
+	MaxShare       int
+	// RecoveryPatience is how many consecutive failed work requests a
+	// process tolerates before it presumes work was lost and recovers an
+	// uncompleted problem from the complement of its table (§5.3.2).
+	RecoveryPatience int
+	// RecoveryQuiet is the minimum window without any remote progress
+	// before a starving process may presume work was lost. Jittered ±25%
+	// per attempt so concurrent recoverers stagger.
+	RecoveryQuiet float64
+	// DisableRecovery turns the failure-recovery mechanism off (ablation).
+	DisableRecovery bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReportBatch <= 0 {
+		c.ReportBatch = 8
+	}
+	if c.ReportFanout <= 0 {
+		c.ReportFanout = 2
+	}
+	if c.ReportTimeout <= 0 {
+		c.ReportTimeout = 30
+	}
+	if c.MinPoolToShare <= 0 {
+		c.MinPoolToShare = 2
+	}
+	if c.MaxShare <= 0 {
+		c.MaxShare = 16
+	}
+	if c.RecoveryPatience <= 0 {
+		c.RecoveryPatience = 3
+	}
+	if c.RecoveryQuiet <= 0 {
+		c.RecoveryQuiet = 10
+	}
+	return c
+}
+
+// Deps wires a Core to its driver. Clock, Sender, Expander, Peers, and Rand
+// are required; RandFloat and the hooks are optional.
+type Deps struct {
+	Clock    Clock
+	Sender   Sender
+	Expander Expander
+	// Peers returns the members this process may contact (its current view,
+	// excluding itself). Crashed members may appear — failures are not
+	// directly detectable (§4), they only manifest as unanswered requests.
+	Peers func() []NodeID
+	// Rand returns a uniform int in [0, n). All stochastic protocol choices
+	// draw from it, so a deterministic source makes the Core deterministic.
+	Rand func(n int) int
+	// RandFloat returns a uniform float64 in [0, 1), used to jitter the
+	// recovery quiet window. nil means no jitter.
+	RandFloat func() float64
+	// OnComplete fires for every locally completed subproblem entering the
+	// table (not for completions learned from peers).
+	OnComplete func(c code.Code)
+	// OnTableChange fires after any table mutation — completion or merge —
+	// for storage sampling.
+	OnTableChange func()
+}
+
+// Counters tallies protocol-level events, for metrics and results.
+type Counters struct {
+	Expanded      int // subproblems whose branching outcome this core applied
+	ReportsSent   int // work-report messages sent
+	ReportCodes   int // codes carried by those reports (after compression)
+	ReportedComps int // completions covered by flushed reports (before compression)
+	TablesSent    int // full-table gossip messages sent
+	WorkRequests  int // work-request messages sent
+	WorkSent      int // subproblems shipped to requesters
+	Recoveries    int // subproblems re-created by complement recovery
+	PeakPool      int // max active problems held at once
+}
+
+// Core is the per-process protocol state machine. It is not safe for
+// concurrent use: the driver must serialize all calls (the simulator is
+// single-threaded by construction; the live runtime confines each Core to
+// its node goroutine).
+type Core struct {
+	id  NodeID
+	cfg Config
+	d   Deps
+
+	pool   pool
+	table  *ctree.Table
+	outbox *ctree.Table // new locally completed subproblems, contracted
+
+	incumbent  float64
+	lastReport float64
+	outboxAdds int     // completions inserted into the outbox since last flush
+	ewmaCost   float64 // smoothed per-subproblem execution time (adaptive reports)
+	terminated bool
+
+	reqPending bool
+	failedReqs int
+	// lastProgress is the last remote progress: a grant, or a novel
+	// report/table. remoteAct anchors the freshest evidence that some OTHER
+	// process was computing (merged from message ages); selfBusy anchors
+	// this process's own last computation. Outgoing ages use both; the
+	// recovery gate uses only remote evidence — a survivor's own work must
+	// not stop it from presuming its dead peers' work lost.
+	lastProgress float64
+	remoteAct    float64
+	selfBusy     float64
+
+	cnt Counters
+}
+
+// New builds a Core. Deps must carry non-nil Clock, Sender, Expander, Peers,
+// and Rand.
+func New(id NodeID, cfg Config, d Deps) *Core {
+	return &Core{
+		id:        id,
+		cfg:       cfg.withDefaults(),
+		d:         d,
+		pool:      pool{dfs: cfg.Select == DepthFirst},
+		table:     ctree.New(),
+		outbox:    ctree.New(),
+		incumbent: math.Inf(1),
+	}
+}
+
+// --- state accessors ---------------------------------------------------------
+
+// Terminated reports whether this core detected termination.
+func (c *Core) Terminated() bool { return c.terminated }
+
+// Incumbent returns the best solution value known to this core.
+func (c *Core) Incumbent() float64 { return c.incumbent }
+
+// PoolLen returns the number of active problems held.
+func (c *Core) PoolLen() int { return len(c.pool.items) }
+
+// Table exposes the completion table for driver-side storage accounting.
+func (c *Core) Table() *ctree.Table { return c.table }
+
+// Counters returns a snapshot of the protocol event tallies.
+func (c *Core) Counters() Counters { return c.cnt }
+
+// Seed hands the core an initial problem (process 0 gets the root; everyone
+// else starts empty and pulls work through load balancing).
+func (c *Core) Seed(it Item) {
+	c.pool.push(it)
+	c.notePool()
+}
+
+func (c *Core) notePool() {
+	if n := c.pool.Len(); n > c.cnt.PeakPool {
+		c.cnt.PeakPool = n
+	}
+}
+
+// ActivityAge returns how long ago, as far as this core knows, some process
+// was actively computing. A core that holds active problems reports zero;
+// otherwise the freshest of its own past activity and the relayed remote
+// evidence.
+func (c *Core) ActivityAge() float64 {
+	if !c.terminated && c.pool.Len() > 0 {
+		return 0
+	}
+	anchor := c.selfBusy
+	if c.remoteAct > anchor {
+		anchor = c.remoteAct
+	}
+	return c.d.Clock.Now() - anchor
+}
+
+// noteActivity merges activity evidence from a received message.
+func (c *Core) noteActivity(age float64) {
+	if cand := c.d.Clock.Now() - age; cand > c.remoteAct {
+		c.remoteAct = cand
+	}
+}
+
+func (c *Core) observeIncumbent(v float64) {
+	if v < c.incumbent {
+		c.incumbent = v
+	}
+}
+
+// --- the main decision point -------------------------------------------------
+
+// Status tells the driver what the core wants to do next.
+type Status int
+
+// Next statuses.
+const (
+	// Idle: the core terminated earlier; there is nothing to do.
+	Idle Status = iota
+	// Expand: pay the returned item's cost, branch it, and report the
+	// outcome via OnExpanded.
+	Expand
+	// Starved: the pool is empty; call Starve to run load balancing.
+	Starved
+	// Terminated: termination was detected just now (the final root-report
+	// broadcast of §5.4 has been sent). Returned exactly once.
+	Terminated
+)
+
+// Next is invoked whenever the process becomes free: after a work unit,
+// after processing messages, after a timer. It decides the next activity,
+// performing eliminations (and, if contraction reaches the root, termination
+// detection) along the way.
+func (c *Core) Next() (Item, Status) {
+	if c.terminated {
+		return Item{}, Idle
+	}
+	if c.table.Complete() {
+		c.detectTermination()
+		return Item{}, Terminated
+	}
+	for c.pool.Len() > 0 {
+		it := c.pool.pop()
+		if c.table.Contains(it.Code) {
+			continue // completed elsewhere in the meantime; drop silently
+		}
+		if c.cfg.Prune && it.Bound >= c.incumbent {
+			// Eliminate: the problem is fathomed without expansion, which
+			// completes it (nothing below it can matter).
+			c.complete(it.Code)
+			if c.table.Complete() {
+				c.detectTermination()
+				return Item{}, Terminated
+			}
+			continue
+		}
+		return it, Expand
+	}
+	return Item{}, Starved
+}
+
+// Outcome is what branching one subproblem revealed: the node's own value
+// (if feasible) and its children. An empty Children slice means a leaf.
+type Outcome struct {
+	Feasible bool
+	Value    float64
+	Children []Item
+}
+
+// OnExpanded applies the branching outcome of it. elapsed is the execution
+// time the driver charged for the expansion, feeding the smoothed
+// per-subproblem cost that paces adaptive reports.
+func (c *Core) OnExpanded(it Item, out Outcome, elapsed float64) {
+	c.selfBusy = c.d.Clock.Now()
+	if c.ewmaCost == 0 {
+		c.ewmaCost = elapsed
+	} else {
+		c.ewmaCost += 0.2 * (elapsed - c.ewmaCost)
+	}
+	c.cnt.Expanded++
+	if out.Feasible && out.Value < c.incumbent {
+		c.incumbent = out.Value
+	}
+	if len(out.Children) == 0 {
+		c.complete(it.Code)
+		return
+	}
+	for _, ch := range out.Children {
+		if c.table.Contains(ch.Code) {
+			continue // already completed somewhere
+		}
+		if c.cfg.Prune && ch.Bound >= c.incumbent {
+			c.complete(ch.Code) // eliminated at generation
+			continue
+		}
+		c.pool.push(ch)
+	}
+	c.notePool()
+}
+
+// complete records the completion of a subproblem: into the table (for
+// termination detection and duplicate suppression) and into the outbox (to
+// be gossiped as a work report).
+func (c *Core) complete(cd code.Code) {
+	if changed, err := c.table.Insert(cd); err != nil || !changed {
+		return
+	}
+	if changed, _ := c.outbox.Insert(cd); changed {
+		c.outboxAdds++
+	}
+	if c.d.OnComplete != nil {
+		c.d.OnComplete(cd)
+	}
+	if c.d.OnTableChange != nil {
+		c.d.OnTableChange()
+	}
+	if c.outbox.Len() >= c.cfg.ReportBatch {
+		c.FlushReport()
+	}
+}
+
+// --- reporting and gossip ----------------------------------------------------
+
+// FlushReport flushes the outbox as a work report to ReportFanout random
+// members. Compression already happened: the outbox is a contracted table.
+func (c *Core) FlushReport() {
+	codes := c.outbox.Codes()
+	if len(codes) == 0 {
+		return
+	}
+	c.outbox = ctree.New()
+	c.cnt.ReportedComps += c.outboxAdds
+	c.outboxAdds = 0
+	c.lastReport = c.d.Clock.Now()
+	peers := c.d.Peers()
+	if len(peers) == 0 {
+		return // lone process: nothing to gossip, its own table suffices
+	}
+	m := Report{Codes: codes, Incumbent: c.incumbent, ActAge: c.ActivityAge()}
+	for i := 0; i < c.cfg.ReportFanout; i++ {
+		c.d.Sender.Send(peers[c.d.Rand(len(peers))], m)
+		c.cnt.ReportsSent++
+		c.cnt.ReportCodes += len(codes)
+	}
+}
+
+// ReportOverdue reports whether a non-empty outbox has gone stale ("the list
+// has not been updated for a long time"). With AdaptiveReports the staleness
+// threshold tracks how long this process actually needs to fill a batch —
+// roughly ReportBatch times its smoothed per-subproblem time — so
+// coarse-granularity runs stop shipping half-empty reports at a fixed
+// wall-clock cadence.
+func (c *Core) ReportOverdue() bool {
+	if c.terminated {
+		return false
+	}
+	timeout := c.cfg.ReportTimeout
+	if c.cfg.AdaptiveReports {
+		if adaptive := float64(c.cfg.ReportBatch) * c.ewmaCost; adaptive > timeout {
+			timeout = adaptive
+		}
+	}
+	return c.outbox.Len() > 0 && c.d.Clock.Now()-c.lastReport >= timeout
+}
+
+// SendTable pushes the full table to one member (§5.2's consistency gossip).
+func (c *Core) SendTable(to NodeID) {
+	c.d.Sender.Send(to, TableMsg{Codes: c.table.Codes(), Incumbent: c.incumbent, ActAge: c.ActivityAge()})
+	c.cnt.TablesSent++
+}
+
+// --- load balancing and recovery ---------------------------------------------
+
+// StarveDecision is what a starving process should do.
+type StarveDecision int
+
+// Starve decisions.
+const (
+	// StarveWait: nothing was sent (terminated, a request is already
+	// outstanding, or a lone process is inside the recovery quiet window);
+	// the driver should retry after its pacing delay.
+	StarveWait StarveDecision = iota
+	// StarveRequested: a work request went out; the driver must bound the
+	// wait and call RequestFailed if no grant or deny answers in time.
+	StarveRequested
+	// StarveRecover: enough failed attempts and a quiet window with no
+	// remote progress — presume work lost and run PlanRecovery/Adopt.
+	StarveRecover
+)
+
+// Starve runs the out-of-work decision of §5: flush any pending report
+// (lightly loaded processes send more work reports, §6.3.1), then either
+// probe a random member for work or — when requests keep failing and the
+// whole system has looked inactive for a quiet window — fall back to
+// failure recovery.
+func (c *Core) Starve() StarveDecision {
+	if c.terminated || c.reqPending || c.pool.Len() > 0 {
+		return StarveWait
+	}
+	c.FlushReport()
+	peers := c.d.Peers()
+	if c.failedReqs >= c.cfg.RecoveryPatience || len(peers) == 0 {
+		// Enough failed attempts to suspect lost work — but only presume
+		// failure after a quiet window with no remote progress at all;
+		// during start-up, starvation just means the work has not spread
+		// yet, and adopting the complement of an empty table would make
+		// every process redo the root.
+		quiet := c.cfg.RecoveryQuiet
+		if c.d.RandFloat != nil {
+			quiet *= 0.75 + 0.5*c.d.RandFloat()
+		}
+		fresh := c.lastProgress
+		if c.remoteAct > fresh {
+			fresh = c.remoteAct
+		}
+		if c.d.Clock.Now()-fresh >= quiet {
+			return StarveRecover
+		}
+		if len(peers) == 0 {
+			// Alone and inside the quiet window: try again later.
+			c.failedReqs++
+			return StarveWait
+		}
+		// Keep probing; the counter stays at the threshold.
+	}
+	if c.failedReqs > 0 {
+		// Starving: suspect termination and push the table to a random
+		// member, spreading completion information faster (§6.3.1).
+		c.SendTable(peers[c.d.Rand(len(peers))])
+	}
+	c.d.Sender.Send(peers[c.d.Rand(len(peers))], WorkRequest{Incumbent: c.incumbent, ActAge: c.ActivityAge()})
+	c.cnt.WorkRequests++
+	c.reqPending = true
+	return StarveRequested
+}
+
+// RequestFailed records that the outstanding work request went unanswered.
+func (c *Core) RequestFailed() {
+	if c.reqPending {
+		c.reqPending = false
+		c.failedReqs++
+	}
+}
+
+// AbandonRequest clears the outstanding request without counting a failure —
+// for drivers that resolve each probe synchronously and received something
+// other than the answer.
+func (c *Core) AbandonRequest() { c.reqPending = false }
+
+// RequestPending reports whether a work request is outstanding, so drivers
+// with a request timer know the timer — not a pacing retry — will revive a
+// waiting process.
+func (c *Core) RequestPending() bool { return c.reqPending }
+
+// PlanRecovery presumes some reported-nowhere work was lost and selects
+// uncompleted regions to re-create by complementing the local table
+// (§5.3.2 failure recovery). It returns nil when recovery is disabled or
+// the table is already complete (Next will then detect termination). The
+// driver charges the complement scan as contraction time, then calls Adopt —
+// the split lets the simulator make the scan a busy period during which
+// messages may still complete some of the planned codes.
+func (c *Core) PlanRecovery() []code.Code {
+	if c.cfg.DisableRecovery || c.terminated {
+		return nil
+	}
+	// Stay at the suspicion threshold: while the remote-evidence gate stays
+	// stale the node recovers again immediately on its next starvation;
+	// fresh evidence (a report, a grant, a relayed activity age) pushes it
+	// back into the probing path. Only an actual work grant resets the
+	// counter — this is the paper's "how soon failure is suspected" knob.
+	c.failedReqs = c.cfg.RecoveryPatience
+	comp := c.table.Complement(8)
+	if len(comp) == 0 {
+		return nil
+	}
+	// Adopt a few uncompleted regions, starting from a random one so
+	// concurrent recoverers tend to pick different regions (the paper's
+	// "lack of coordination" redundancy, reduced but not eliminated).
+	// Adopt more when much is missing (a lone survivor rebuilding) and
+	// less when little is (the end-game tail, where regions picked here
+	// are probably in progress elsewhere).
+	adopt := 1 + len(comp)/4
+	if adopt > 4 {
+		adopt = 4
+	}
+	if adopt > len(comp) {
+		adopt = len(comp)
+	}
+	off := c.d.Rand(len(comp))
+	out := make([]code.Code, 0, adopt)
+	for i := 0; i < adopt; i++ {
+		out = append(out, comp[(off+i)%len(comp)])
+	}
+	return out
+}
+
+// Adopt pushes the planned recovery codes that are still uncompleted and
+// resolvable, returning how many were re-created.
+func (c *Core) Adopt(cands []code.Code) int {
+	got := 0
+	for _, cd := range cands {
+		if it, ok := c.d.Expander.Locate(cd); ok && !c.table.Contains(cd) {
+			c.pool.push(it)
+			got++
+		}
+	}
+	c.cnt.Recoveries += got
+	c.notePool()
+	return got
+}
+
+// --- message handling ---------------------------------------------------------
+
+// Effect summarizes what a delivered message changed, so drivers can cancel
+// request timers and pace retries without owning protocol state.
+type Effect struct {
+	// Answered: an outstanding work request was resolved (grant or deny);
+	// the driver should cancel its request timeout.
+	Answered bool
+	// Failed: the resolution counts as a failed attempt (a deny, or a grant
+	// carrying nothing usable); the driver should pace the next attempt.
+	Failed bool
+}
+
+// HandleMessage processes one delivered canonical message. The driver is
+// responsible for queueing (the paper's processes check pending messages
+// only after finishing the current subproblem) and for charging the modeled
+// handling costs.
+func (c *Core) HandleMessage(from NodeID, m Msg) Effect {
+	var eff Effect
+	switch t := m.(type) {
+	case Report:
+		c.observeIncumbent(t.Incumbent)
+		c.noteActivity(t.ActAge)
+		c.merge(t.Codes)
+	case TableMsg:
+		c.observeIncumbent(t.Incumbent)
+		c.noteActivity(t.ActAge)
+		c.merge(t.Codes)
+	case WorkRequest:
+		c.observeIncumbent(t.Incumbent)
+		c.noteActivity(t.ActAge)
+		c.handleWorkRequest(from)
+	case WorkGrant:
+		c.observeIncumbent(t.Incumbent)
+		c.noteActivity(t.ActAge)
+		eff = c.handleGrant(t)
+	case WorkDeny:
+		c.observeIncumbent(t.Incumbent)
+		c.noteActivity(t.ActAge)
+		if c.reqPending {
+			c.reqPending = false
+			c.failedReqs++
+			eff = Effect{Answered: true, Failed: true}
+		}
+	}
+	return eff
+}
+
+// merge stores a received report in the table and contracts it. Novel
+// information counts as remote progress for the recovery quiet window.
+func (c *Core) merge(cs []code.Code) {
+	changed, _ := c.table.InsertAll(cs)
+	if changed > 0 {
+		c.lastProgress = c.d.Clock.Now()
+	}
+	if c.d.OnTableChange != nil {
+		c.d.OnTableChange()
+	}
+}
+
+// handleWorkRequest grants half the pool (up to MaxShare) if the process has
+// enough problems, else denies. A terminated process answers with the root
+// report so the requester can terminate too.
+func (c *Core) handleWorkRequest(from NodeID) {
+	if c.terminated {
+		c.d.Sender.Send(from, Report{Codes: []code.Code{code.Root()}, Incumbent: c.incumbent, ActAge: c.ActivityAge()})
+		return
+	}
+	if c.pool.Len() < c.cfg.MinPoolToShare {
+		c.d.Sender.Send(from, WorkDeny{Incumbent: c.incumbent, ActAge: c.ActivityAge()})
+		return
+	}
+	k := c.pool.Len() / 2
+	if k > c.cfg.MaxShare {
+		k = c.cfg.MaxShare
+	}
+	codes := make([]code.Code, 0, k)
+	for i := 0; i < k; i++ {
+		codes = append(codes, c.pool.steal().Code)
+	}
+	c.d.Sender.Send(from, WorkGrant{Codes: codes, Incumbent: c.incumbent, ActAge: c.ActivityAge()})
+	c.cnt.WorkSent += len(codes)
+}
+
+// handleGrant adopts transferred problems.
+func (c *Core) handleGrant(g WorkGrant) Effect {
+	var eff Effect
+	if c.reqPending {
+		c.reqPending = false
+		eff.Answered = true
+	}
+	got := 0
+	for _, cd := range g.Codes {
+		it, ok := c.d.Expander.Locate(cd)
+		if !ok || c.table.Contains(cd) {
+			continue
+		}
+		c.pool.push(it)
+		got++
+	}
+	c.notePool()
+	if got > 0 {
+		c.failedReqs = 0
+		c.lastProgress = c.d.Clock.Now()
+	} else {
+		c.failedReqs++
+		eff.Failed = true
+	}
+	return eff
+}
+
+// --- termination ---------------------------------------------------------------
+
+// detectTermination fires when contraction reached the root code (§5.4):
+// the process broadcasts one final root report to every member it knows of,
+// then stops.
+func (c *Core) detectTermination() {
+	c.terminated = true
+	m := Report{Codes: []code.Code{code.Root()}, Incumbent: c.incumbent, ActAge: c.ActivityAge()}
+	for _, p := range c.d.Peers() {
+		c.d.Sender.Send(p, m)
+	}
+}

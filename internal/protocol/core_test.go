@@ -1,0 +1,386 @@
+package protocol
+
+import (
+	"testing"
+
+	"gossipbnb/internal/code"
+)
+
+// --- a scripted environment ---------------------------------------------------
+
+type fakeClock struct{ t float64 }
+
+func (f *fakeClock) Now() float64 { return f.t }
+
+type sent struct {
+	to NodeID
+	m  Msg
+}
+
+type fakeSender struct{ out []sent }
+
+func (s *fakeSender) Send(to NodeID, m Msg) { s.out = append(s.out, sent{to, m}) }
+
+func (s *fakeSender) take() []sent {
+	o := s.out
+	s.out = nil
+	return o
+}
+
+// fakeTree is a complete binary tree of the given depth: level d branches on
+// variable d+1. Leaf value is 100 minus the number of 1-branches on the
+// path, so the optimum is 100-depth (the all-ones leaf); interior bounds are
+// the best value reachable below.
+type fakeTree struct{ depth int }
+
+func (f fakeTree) ones(c code.Code) int {
+	n := 0
+	for _, d := range c {
+		n += int(d.Branch)
+	}
+	return n
+}
+
+func (f fakeTree) bound(c code.Code) float64 {
+	return float64(100 - f.ones(c) - (f.depth - len(c)))
+}
+
+func (f fakeTree) Locate(c code.Code) (Item, bool) {
+	if len(c) > f.depth {
+		return Item{}, false
+	}
+	for i, d := range c {
+		if d.Var != uint32(i+1) {
+			return Item{}, false
+		}
+	}
+	return Item{Code: c, Bound: f.bound(c)}, true
+}
+
+func (f fakeTree) outcome(it Item) Outcome {
+	if len(it.Code) == f.depth {
+		return Outcome{Feasible: true, Value: float64(100 - f.ones(it.Code))}
+	}
+	v := uint32(len(it.Code) + 1)
+	var ch []Item
+	for b := uint8(0); b < 2; b++ {
+		cc := it.Code.Child(v, b)
+		ch = append(ch, Item{Code: cc, Bound: f.bound(cc)})
+	}
+	return Outcome{Children: ch}
+}
+
+type env struct {
+	clk  fakeClock
+	snd  fakeSender
+	tree fakeTree
+	core *Core
+}
+
+func newEnv(t *testing.T, depth int, cfg Config, peers []NodeID) *env {
+	t.Helper()
+	e := &env{tree: fakeTree{depth: depth}}
+	e.core = New(0, cfg, Deps{
+		Clock:    &e.clk,
+		Sender:   &e.snd,
+		Expander: e.tree,
+		Peers:    func() []NodeID { return peers },
+		Rand:     func(n int) int { return 0 },
+	})
+	return e
+}
+
+// solve drives the core to termination the way a driver would, failing the
+// test if it starves or stalls.
+func (e *env) solve(t *testing.T) {
+	t.Helper()
+	for steps := 0; steps < 1<<14; steps++ {
+		it, st := e.core.Next()
+		switch st {
+		case Expand:
+			e.clk.t += 0.01
+			e.core.OnExpanded(it, e.tree.outcome(it), 0.01)
+		case Terminated:
+			return
+		case Idle:
+			t.Fatal("core went idle without the driver observing termination")
+		case Starved:
+			t.Fatal("core starved while solving alone with the whole problem")
+		}
+	}
+	t.Fatal("core did not terminate")
+}
+
+// --- tests --------------------------------------------------------------------
+
+func TestCoreSolvesAlone(t *testing.T) {
+	for _, rule := range []SelectRule{BestFirst, DepthFirst} {
+		e := newEnv(t, 5, Config{Select: rule}, nil)
+		root, _ := e.tree.Locate(code.Root())
+		e.core.Seed(root)
+		e.solve(t)
+		if !e.core.Terminated() {
+			t.Fatal("not terminated")
+		}
+		if got, want := e.core.Incumbent(), 95.0; got != want {
+			t.Errorf("rule %v: incumbent = %g, want %g", rule, got, want)
+		}
+		// A depth-5 complete binary tree has 2^6-1 nodes.
+		if got := e.core.Counters().Expanded; got != 63 {
+			t.Errorf("rule %v: expanded = %d, want 63", rule, got)
+		}
+	}
+}
+
+func TestCorePruneEliminates(t *testing.T) {
+	e := newEnv(t, 6, Config{Prune: true, Select: BestFirst}, nil)
+	root, _ := e.tree.Locate(code.Root())
+	e.core.Seed(root)
+	e.solve(t)
+	if got, want := e.core.Incumbent(), 94.0; got != want {
+		t.Errorf("incumbent = %g, want %g", got, want)
+	}
+	if got := e.core.Counters().Expanded; got >= 127 {
+		t.Errorf("pruning expanded all %d nodes", got)
+	}
+}
+
+func TestCoreGrantAndDeny(t *testing.T) {
+	e := newEnv(t, 4, Config{MinPoolToShare: 2, MaxShare: 16}, []NodeID{1})
+	// One item only: a request is denied.
+	it, _ := e.tree.Locate(code.Root().Child(1, 0))
+	e.core.Seed(it)
+	e.core.HandleMessage(2, WorkRequest{Incumbent: 50})
+	out := e.snd.take()
+	if len(out) != 1 || out[0].to != 2 {
+		t.Fatalf("deny not sent: %+v", out)
+	}
+	if _, ok := out[0].m.(WorkDeny); !ok {
+		t.Fatalf("answer = %T, want WorkDeny", out[0].m)
+	}
+	// The piggybacked incumbent was merged.
+	if e.core.Incumbent() != 50 {
+		t.Errorf("incumbent = %g, want 50 (merged from request)", e.core.Incumbent())
+	}
+	// Grow the pool: now half is granted, smallest bounds first.
+	for _, c := range []code.Code{
+		code.Root().Child(1, 1),
+		code.Root().Child(1, 0).Child(2, 0),
+		code.Root().Child(1, 0).Child(2, 1),
+	} {
+		g, ok := e.tree.Locate(c)
+		if !ok {
+			t.Fatal("locate failed")
+		}
+		e.core.Seed(g)
+	}
+	e.core.HandleMessage(2, WorkRequest{})
+	out = e.snd.take()
+	if len(out) != 1 {
+		t.Fatalf("want one grant, got %+v", out)
+	}
+	g, ok := out[0].m.(WorkGrant)
+	if !ok {
+		t.Fatalf("answer = %T, want WorkGrant", out[0].m)
+	}
+	if len(g.Codes) != 2 { // half of four
+		t.Errorf("granted %d problems, want 2", len(g.Codes))
+	}
+	if e.core.Counters().WorkSent != 2 {
+		t.Errorf("WorkSent = %d", e.core.Counters().WorkSent)
+	}
+}
+
+func TestCoreRequestLifecycle(t *testing.T) {
+	e := newEnv(t, 4, Config{RecoveryPatience: 3, RecoveryQuiet: 10}, []NodeID{1})
+	if dec := e.core.Starve(); dec != StarveRequested {
+		t.Fatalf("first starve = %v, want StarveRequested", dec)
+	}
+	if len(e.snd.take()) != 1 {
+		t.Fatal("no request sent")
+	}
+	// A second starve while the request is outstanding sends nothing.
+	if dec := e.core.Starve(); dec != StarveWait {
+		t.Fatalf("starve with request pending = %v, want StarveWait", dec)
+	}
+	// A deny resolves it as a failure.
+	eff := e.core.HandleMessage(1, WorkDeny{})
+	if !eff.Answered || !eff.Failed {
+		t.Fatalf("deny effect = %+v", eff)
+	}
+	// Next starve also pushes the table (starving processes gossip more).
+	e.clk.t = 1
+	if dec := e.core.Starve(); dec != StarveRequested {
+		t.Fatalf("starve after deny = %v", dec)
+	}
+	out := e.snd.take()
+	if len(out) != 2 {
+		t.Fatalf("want table push + request, got %d messages", len(out))
+	}
+	if _, ok := out[0].m.(TableMsg); !ok {
+		t.Errorf("first message = %T, want TableMsg", out[0].m)
+	}
+	// A grant with usable work resolves and resets the failure count.
+	it, _ := e.tree.Locate(code.Root().Child(1, 0))
+	eff = e.core.HandleMessage(1, WorkGrant{Codes: []code.Code{it.Code}})
+	if !eff.Answered || eff.Failed {
+		t.Fatalf("grant effect = %+v", eff)
+	}
+	if e.core.PoolLen() != 1 {
+		t.Errorf("pool = %d after grant", e.core.PoolLen())
+	}
+}
+
+func TestCoreRecoveryAfterQuietWindow(t *testing.T) {
+	e := newEnv(t, 4, Config{RecoveryPatience: 3, RecoveryQuiet: 10}, []NodeID{1})
+	// Three unanswered probes.
+	for i := 0; i < 3; i++ {
+		if dec := e.core.Starve(); dec != StarveRequested {
+			t.Fatalf("probe %d: %v", i, dec)
+		}
+		e.core.RequestFailed()
+		e.clk.t += 1
+	}
+	e.snd.take()
+	// Patience exhausted but the quiet window (10s) has not passed: probing
+	// continues.
+	if dec := e.core.Starve(); dec != StarveRequested {
+		t.Fatalf("inside quiet window: %v, want StarveRequested", dec)
+	}
+	e.core.RequestFailed()
+	e.snd.take()
+	// After the quiet window with no remote progress: recover.
+	e.clk.t = 30
+	if dec := e.core.Starve(); dec != StarveRecover {
+		t.Fatalf("after quiet window: %v, want StarveRecover", dec)
+	}
+	plan := e.core.PlanRecovery()
+	if len(plan) == 0 {
+		t.Fatal("empty recovery plan on an incomplete table")
+	}
+	if got := e.core.Adopt(plan); got == 0 {
+		t.Fatal("recovery adopted nothing")
+	}
+	if e.core.Counters().Recoveries == 0 {
+		t.Error("Recoveries counter not incremented")
+	}
+	if _, st := e.core.Next(); st != Expand {
+		t.Errorf("after recovery Next = %v, want Expand", st)
+	}
+}
+
+func TestCoreRecoveryGatedByRemoteActivity(t *testing.T) {
+	e := newEnv(t, 4, Config{RecoveryPatience: 1, RecoveryQuiet: 10}, []NodeID{1})
+	e.core.Starve()
+	e.core.RequestFailed()
+	e.clk.t = 30
+	// Evidence that some process computed 2 seconds ago arrives: the quiet
+	// gate must hold recovery back.
+	e.core.HandleMessage(1, WorkDeny{ActAge: 2})
+	if dec := e.core.Starve(); dec == StarveRecover {
+		t.Fatal("recovered despite fresh remote activity evidence")
+	}
+}
+
+func TestCoreTerminationBroadcastAndRelay(t *testing.T) {
+	e := newEnv(t, 3, Config{}, []NodeID{1, 2})
+	root, _ := e.tree.Locate(code.Root())
+	e.core.Seed(root)
+	for {
+		it, st := e.core.Next()
+		if st == Terminated {
+			break
+		}
+		if st != Expand {
+			t.Fatalf("unexpected status %v", st)
+		}
+		e.core.OnExpanded(it, e.tree.outcome(it), 0.01)
+	}
+	// The final broadcast: one root report per peer.
+	var roots int
+	for _, s := range e.snd.take() {
+		if r, ok := s.m.(Report); ok && len(r.Codes) == 1 && r.Codes[0].IsRoot() {
+			roots++
+		}
+	}
+	if roots != 2 {
+		t.Fatalf("root reports broadcast = %d, want 2", roots)
+	}
+	// A terminated core answers work requests with the root report, so
+	// stragglers can terminate too.
+	e.core.HandleMessage(2, WorkRequest{})
+	out := e.snd.take()
+	if len(out) != 1 {
+		t.Fatalf("terminated core sent %d messages", len(out))
+	}
+	r, ok := out[0].m.(Report)
+	if !ok || len(r.Codes) != 1 || !r.Codes[0].IsRoot() {
+		t.Fatalf("terminated answer = %+v, want root report", out[0].m)
+	}
+	// A fresh core receiving the root report terminates immediately.
+	e2 := newEnv(t, 3, Config{}, nil)
+	e2.core.HandleMessage(0, r)
+	if _, st := e2.core.Next(); st != Terminated {
+		t.Fatalf("straggler status = %v, want Terminated", st)
+	}
+}
+
+func TestCoreReportBatchingAndPacing(t *testing.T) {
+	e := newEnv(t, 3, Config{ReportBatch: 100, ReportTimeout: 30, AdaptiveReports: true}, []NodeID{1})
+	root, _ := e.tree.Locate(code.Root())
+	e.core.Seed(root)
+	// Expand the root and one leaf path far enough to complete something.
+	for i := 0; i < 4; i++ {
+		it, st := e.core.Next()
+		if st != Expand {
+			break
+		}
+		e.clk.t += 10 // coarse granularity: 10s per subproblem
+		e.core.OnExpanded(it, e.tree.outcome(it), 10)
+	}
+	if e.core.outbox.Len() == 0 {
+		t.Fatal("nothing completed; test scenario broken")
+	}
+	// Fixed timeout would flush at 30s, but the adaptive threshold is
+	// ReportBatch × ewma ≈ 1000s: not overdue yet.
+	if e.core.ReportOverdue() {
+		t.Error("overdue before the adaptive threshold")
+	}
+	e.clk.t = 1200
+	if !e.core.ReportOverdue() {
+		t.Error("not overdue after the adaptive threshold")
+	}
+	e.core.FlushReport()
+	if len(e.snd.take()) == 0 {
+		t.Error("flush sent nothing")
+	}
+	if e.core.ReportOverdue() {
+		t.Error("overdue right after a flush")
+	}
+}
+
+func TestCoreActivityAgeDiffusion(t *testing.T) {
+	e := newEnv(t, 3, Config{}, []NodeID{1})
+	// With work in the pool the process is active: age 0.
+	root, _ := e.tree.Locate(code.Root())
+	e.core.Seed(root)
+	e.clk.t = 5
+	if got := e.core.ActivityAge(); got != 0 {
+		t.Errorf("age with active pool = %g, want 0", got)
+	}
+	// Drain the pool; its own last computation anchors the age.
+	it, _ := e.core.Next()
+	e.core.OnExpanded(it, Outcome{Feasible: true, Value: 1}, 0.1)
+	// The fake outcome made the root a leaf: table is complete now, so use
+	// a fresh core to check relayed evidence instead.
+	e2 := newEnv(t, 3, Config{}, nil)
+	e2.clk.t = 20
+	e2.core.HandleMessage(1, WorkDeny{ActAge: 3})
+	if got := e2.core.ActivityAge(); got != 3 {
+		t.Errorf("relayed age = %g, want 3", got)
+	}
+	e2.clk.t = 25
+	if got := e2.core.ActivityAge(); got != 8 {
+		t.Errorf("relayed age after 5s = %g, want 8", got)
+	}
+}

@@ -1,0 +1,101 @@
+package protocol
+
+import "gossipbnb/internal/code"
+
+// Msg is a canonical wire message of the protocol. Size reports the wire
+// encoding's length in bytes — it is exact: Encode produces Size() bytes.
+// The interface is structurally identical to sim.Message and live.Message,
+// so canonical messages flow through either transport unchanged.
+type Msg interface{ Size() int }
+
+// Every message carries two piggybacked scalars:
+//
+//   - Incumbent: the sender's best-known solution value — the paper solves
+//     information sharing by embedding it "in the most frequently sent
+//     messages" (§5);
+//   - ActAge: how many seconds ago, as far as the sender knows, *some*
+//     process in the system was actively computing (0 if the sender itself
+//     is). Receivers keep the freshest evidence. This age diffuses
+//     epidemically through the messages starving processes exchange anyway,
+//     and gates failure recovery: a process only presumes work lost when the
+//     whole system has looked inactive for a quiet window. Ages, unlike
+//     timestamps, survive the unsynchronized clocks of §4. The paper notes
+//     that "the lag in updating information can lead to faulty presumptions
+//     on failure"; activity-age gossip is our implementation of the tuning
+//     it prescribes.
+
+// Report is a work report: a contracted batch of completed-problem codes
+// (§5.3.2). A report whose only code is the root is the final termination
+// broadcast of §5.4.
+type Report struct {
+	Codes     []code.Code
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m Report) Size() int { return scalarSize + codesWireSize(m.Codes) }
+
+// TableMsg is the occasional full-table push "to inform new members of the
+// current state of the execution and to increase the degree of consistency".
+// Its payload is the sender's contracted table frontier.
+type TableMsg struct {
+	Codes     []code.Code
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m TableMsg) Size() int { return scalarSize + codesWireSize(m.Codes) }
+
+// WorkRequest asks a randomly chosen member for problems.
+type WorkRequest struct {
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m WorkRequest) Size() int { return scalarSize }
+
+// WorkGrant transfers problems: codes suffice, because codes are
+// self-contained (§5.3.1) — the receiver rebuilds bound and decomposition
+// from the code plus the initial data every process holds.
+type WorkGrant struct {
+	Codes     []code.Code
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m WorkGrant) Size() int { return scalarSize + codesWireSize(m.Codes) }
+
+// WorkDeny tells a requester its target has no work to spare, so the
+// requester need not wait out the timeout.
+type WorkDeny struct {
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m WorkDeny) Size() int { return scalarSize }
+
+// scalarSize is the fixed part of every message: one kind byte plus the two
+// 8-byte piggybacked scalars.
+const scalarSize = 17
+
+func codesWireSize(cs []code.Code) int {
+	n := uvarintLen(uint64(len(cs)))
+	for _, c := range cs {
+		n += c.WireSize()
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

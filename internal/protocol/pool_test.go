@@ -1,0 +1,91 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPoolBestFirstOrder(t *testing.T) {
+	bf := pool{}
+	for _, b := range []float64{5, 1, 3, 2, 4} {
+		bf.push(Item{Bound: b})
+	}
+	prev := -1.0
+	for bf.Len() > 0 {
+		b := bf.pop().Bound
+		if b < prev {
+			t.Fatalf("best-first order violated: %g after %g", b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestPoolDepthFirstLIFO(t *testing.T) {
+	df := pool{dfs: true}
+	for _, b := range []float64{5, 1, 3} {
+		df.push(Item{Bound: b})
+	}
+	if got := df.pop().Bound; got != 3 {
+		t.Errorf("depth-first pop = %g, want 3 (LIFO)", got)
+	}
+}
+
+// TestStealSmallestBound pins the steal contract: under BOTH disciplines the
+// stolen entry is the one with the smallest bound, even though the
+// depth-first stack is ordered by recency and needs a linear scan to find it.
+func TestStealSmallestBound(t *testing.T) {
+	df := pool{dfs: true}
+	for _, b := range []float64{5, 1, 3} {
+		df.push(Item{Bound: b})
+	}
+	if got := df.steal().Bound; got != 1 {
+		t.Errorf("depth-first steal = %g, want 1", got)
+	}
+	bf := pool{}
+	bf.push(Item{Bound: 2})
+	bf.push(Item{Bound: 1})
+	if got := bf.steal().Bound; got != 1 {
+		t.Errorf("best-first steal = %g, want 1", got)
+	}
+}
+
+// TestStealDepthFirstPreservesStackOrder: removing the smallest-bound entry
+// from the middle of a depth-first stack must not disturb the LIFO order of
+// the remaining entries — the local process goes on refining its most recent
+// subproblem as if nothing happened.
+func TestStealDepthFirstPreservesStackOrder(t *testing.T) {
+	df := pool{dfs: true}
+	for _, b := range []float64{7, 2, 9, 4} {
+		df.push(Item{Bound: b})
+	}
+	if got := df.steal().Bound; got != 2 {
+		t.Fatalf("steal = %g, want 2", got)
+	}
+	for _, want := range []float64{4, 9, 7} {
+		if got := df.pop().Bound; got != want {
+			t.Errorf("pop after steal = %g, want %g (LIFO preserved)", got, want)
+		}
+	}
+}
+
+// TestStealDrainsEqualToSorted: stealing everything from a depth-first stack
+// yields the entries in nondecreasing bound order — the linear scan really
+// does find the global minimum each time.
+func TestStealDrainsEqualToSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		df := pool{dfs: true}
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			df.push(Item{Bound: r.Float64()})
+		}
+		prev := -1.0
+		for df.Len() > 0 {
+			b := df.steal().Bound
+			if b < prev {
+				t.Fatalf("trial %d: steal order violated: %g after %g", trial, b, prev)
+			}
+			prev = b
+		}
+	}
+}

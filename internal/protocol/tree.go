@@ -1,0 +1,47 @@
+package protocol
+
+import (
+	"gossipbnb/internal/btree"
+	"gossipbnb/internal/code"
+)
+
+// TreeExpander is the standard Expander over a recorded basic tree — the
+// stand-in both runtimes use for re-deriving a subproblem from the initial
+// data (§5.3.1). Sharing one adapter guarantees the simulator and the live
+// runtime translate codes and branching outcomes identically, which is the
+// parity invariant between them.
+type TreeExpander struct{ Tree *btree.Tree }
+
+// Locate implements Expander.
+func (e TreeExpander) Locate(c code.Code) (Item, bool) {
+	idx, ok := e.Tree.Locate(c)
+	if !ok {
+		return Item{}, false
+	}
+	return Item{Code: c, Ref: idx, Bound: e.Tree.Nodes[idx].Bound}, true
+}
+
+// Root returns the seed item for the original problem.
+func (e TreeExpander) Root() Item {
+	return Item{Code: code.Root(), Ref: 0, Bound: e.Tree.Nodes[0].Bound}
+}
+
+// Outcome translates the recorded node behind it into the core's branching
+// outcome.
+func (e TreeExpander) Outcome(it Item) Outcome {
+	tn := &e.Tree.Nodes[it.Ref]
+	out := Outcome{Feasible: tn.Feasible, Value: tn.Bound}
+	if tn.Leaf() {
+		return out
+	}
+	out.Children = make([]Item, 0, 2)
+	for b := uint8(0); b < 2; b++ {
+		idx := tn.Children[b]
+		out.Children = append(out.Children, Item{
+			Code:  it.Code.Child(tn.BranchVar, b),
+			Ref:   idx,
+			Bound: e.Tree.Nodes[idx].Bound,
+		})
+	}
+	return out
+}
