@@ -7,7 +7,9 @@ package gossipbnb
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
+	"time"
 
 	"gossipbnb/internal/exp"
 )
@@ -174,6 +176,51 @@ func BenchmarkAblationAdaptiveReports(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if len(exp.AblationAdaptiveReports(1)) != 6 {
 			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// BenchmarkRealKnapsackSim solves a knapsack instance from initial data only
+// through the deterministic simulator — the code-driven expander's hot path
+// (state replay, bound computation, per-code cost model).
+func BenchmarkRealKnapsackSim(b *testing.B) {
+	k := RandomKnapsack(rand.New(rand.NewSource(11)), 16)
+	seq := SolveProblem(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunProblemRef(k, seq, SimConfig{Procs: 4, Seed: 11, Prune: true})
+		if !res.OptimumOK {
+			b.Fatal("wrong optimum")
+		}
+	}
+}
+
+// BenchmarkRealKnapsackLive solves the same class of instance on a real
+// goroutine cluster burning actual CPU per expansion.
+func BenchmarkRealKnapsackLive(b *testing.B) {
+	k := RandomKnapsack(rand.New(rand.NewSource(12)), 18)
+	seq := SolveProblem(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := NewLiveProblemClusterRef(k, seq, LiveConfig{
+			Nodes: 4, Seed: 12, Prune: true, Timeout: 60 * time.Second,
+		})
+		if res := cl.Run(); !res.OptimumOK {
+			b.Fatal("wrong optimum")
+		}
+	}
+}
+
+// BenchmarkRealQAPSim solves a QAP instance from initial data through the
+// simulator under depth-first selection.
+func BenchmarkRealQAPSim(b *testing.B) {
+	q := RandomQAP(rand.New(rand.NewSource(13)), 6)
+	seq := SolveProblem(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunProblemRef(q, seq, SimConfig{Procs: 4, Seed: 13, Prune: true, Select: SelectDepthFirst})
+		if !res.OptimumOK {
+			b.Fatal("wrong optimum")
 		}
 	}
 }

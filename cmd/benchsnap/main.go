@@ -1,0 +1,86 @@
+// Command benchsnap converts `go test -bench` output on stdin into the
+// JSON snapshot format of BENCH_baseline.json, so perf PRs have a committed
+// trajectory to compare against.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run '^$' . | go run ./cmd/benchsnap > BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Snapshot is the committed baseline: one entry per benchmark, nanoseconds
+// per op. Wall-clock numbers move with hardware, so comparisons should read
+// ratios between entries of the same snapshot against ratios in a new one,
+// not absolute times across machines.
+type Snapshot struct {
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark measurement.
+type Bench struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iterations"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	SecPerOp float64 `json:"sec_per_op"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+	metaLine  = regexp.MustCompile(`^(goos|goarch): (\S+)`)
+)
+
+func main() {
+	snap := Snapshot{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := metaLine.FindStringSubmatch(line); m != nil {
+			switch m[1] {
+			case "goos":
+				snap.GOOS = m[2]
+			case "goarch":
+				snap.GOARCH = m[2]
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		// m[2] is the GOMAXPROCS suffix (-8), stripped so snapshots from
+		// machines with different core counts stay comparable by name.
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			continue
+		}
+		snap.Benchmarks = append(snap.Benchmarks, Bench{
+			Name: m[1], Iters: iters, NsPerOp: ns, SecPerOp: ns / 1e9,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}

@@ -5,6 +5,8 @@
 //
 //	dbbsim -procs 16 -size 10000 -mean 0.05                 # generated tree
 //	dbbsim -procs 16 -tree tree.gbbt                        # saved tree
+//	dbbsim -procs 8 -problem knapsack:20:7 -prune           # real problem,
+//	dbbsim -procs 8 -problem qap:6:1 -prune                 #  no tree on disk
 //	dbbsim -procs 8 -crash 30:3 -crash 40:5 -loss 0.05      # fault injection
 //	dbbsim -procs 3 -gantt                                  # ASCII Gantt
 //	dbbsim -procs 16 -membership                            # §5.2 protocol on
@@ -18,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"gossipbnb/internal/bnb"
 	"gossipbnb/internal/btree"
 	"gossipbnb/internal/dbnb"
 	"gossipbnb/internal/metrics"
@@ -47,6 +50,8 @@ func main() {
 		procs    = flag.Int("procs", 8, "number of processes")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		treePath = flag.String("tree", "", "basic-tree file (else a tree is generated)")
+		problem  = flag.String("problem", "", "solve a real problem from initial data, no recorded tree: knapsack:<n>:<seed> or qap:<n>:<seed>")
+		nodeCost = flag.Float64("nodecost", 0, "-problem mode: modeled seconds per expansion (0 = default)")
 		size     = flag.Int("size", 10001, "generated tree size")
 		mean     = flag.Float64("mean", 0.05, "generated mean node cost, seconds")
 		prune    = flag.Bool("prune", false, "enable incumbent-based elimination")
@@ -59,41 +64,58 @@ func main() {
 	flag.Var(&crashes, "crash", "crash-stop a process: TIME:NODE (repeatable)")
 	flag.Parse()
 
-	var tree *btree.Tree
-	if *treePath != "" {
-		var err error
-		tree, err = btree.Load(*treePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		r := rand.New(rand.NewSource(*seed))
-		tree = btree.Random(r, btree.RandomConfig{
-			Size:         *size,
-			Cost:         btree.CostModel{Mean: *mean, Sigma: 0.5},
-			BoundSpread:  1,
-			FeasibleProb: 0.1,
-		})
-	}
-	st := tree.Stats()
-	fmt.Printf("tree: %d nodes, %.1f s uniprocessor, optimum %.6g\n",
-		st.Size, st.TotalCost, st.Optimum)
-
 	var lg *trace.Log
 	if *gantt {
 		lg = &trace.Log{}
 	}
-	res := dbnb.Run(tree, dbnb.Config{
+	cfg := dbnb.Config{
 		Procs:         *procs,
 		Seed:          *seed,
 		Prune:         *prune,
 		Loss:          *loss,
 		CostFactor:    *factor,
+		NodeCost:      *nodeCost,
 		RecoveryQuiet: *quiet,
 		UseMembership: *member,
 		Crashes:       crashes,
 		Trace:         lg,
-	})
+	}
+
+	var res dbnb.Result
+	if *problem != "" {
+		if *treePath != "" {
+			log.Fatal("-problem and -tree are mutually exclusive")
+		}
+		p, err := bnb.ParseSpec(*problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref := bnb.SolveProblem(p)
+		fmt.Printf("problem: %s, sequential optimum %.6g (%d expansions)\n",
+			*problem, ref.Value, ref.Expanded)
+		res = dbnb.RunProblemRef(p, ref, cfg)
+	} else {
+		var tree *btree.Tree
+		if *treePath != "" {
+			var err error
+			tree, err = btree.Load(*treePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			r := rand.New(rand.NewSource(*seed))
+			tree = btree.Random(r, btree.RandomConfig{
+				Size:         *size,
+				Cost:         btree.CostModel{Mean: *mean, Sigma: 0.5},
+				BoundSpread:  1,
+				FeasibleProb: 0.1,
+			})
+		}
+		st := tree.Stats()
+		fmt.Printf("tree: %d nodes, %.1f s uniprocessor, optimum %.6g\n",
+			st.Size, st.TotalCost, st.Optimum)
+		res = dbnb.Run(tree, cfg)
+	}
 
 	fmt.Printf("terminated=%v  time=%.2fs  optimum=%.6g (correct=%v)\n",
 		res.Terminated, res.Time, res.Optimum, res.OptimumOK)

@@ -1,0 +1,57 @@
+// Real-knapsack: solve an actual 0/1 knapsack instance over real TCP
+// sockets from the initial problem data only — no recorded tree anywhere.
+// Every process owns a code-driven expander that re-derives subproblems
+// from their ⟨variable, branch⟩ codes (§5.3.1), burns real CPU computing
+// bounds, and the cluster survives a mid-run crash. The distributed optimum
+// is cross-checked against the sequential engine on the same instance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"gossipbnb"
+)
+
+func main() {
+	const items, seed, nodes = 26, 9, 4
+
+	k := gossipbnb.RandomKnapsack(rand.New(rand.NewSource(seed)), items)
+	seq := gossipbnb.SolveProblem(k)
+	fmt.Printf("instance: %d items, capacity %.0f\n", items, k.Capacity)
+	fmt.Printf("sequential: packed value %.0f in %d expansions\n",
+		k.Best(seq), seq.Expanded)
+
+	nw, err := gossipbnb.NewTCPNetwork(nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		fmt.Printf("process %d listens on %s\n", i, nw.Addr(gossipbnb.LiveNodeID(i)))
+	}
+
+	cl := gossipbnb.NewLiveProblemClusterRef(k, seq, gossipbnb.LiveConfig{
+		Nodes:         nodes,
+		Seed:          seed,
+		Network:       nw,
+		Prune:         true,
+		Select:        gossipbnb.SelectDepthFirst,
+		RecoveryQuiet: 50 * time.Millisecond,
+		Timeout:       120 * time.Second,
+	})
+	time.AfterFunc(2*time.Millisecond, func() { cl.Crash(3) })
+
+	res := cl.Run()
+	fmt.Printf("distributed: terminated=%v in %v, optimum %.6g (matches sequential=%v)\n",
+		res.Terminated, res.Elapsed.Round(time.Millisecond), res.Optimum, res.OptimumOK)
+	fmt.Printf("%d expansions across all processes, %d TCP messages, %d payload bytes\n",
+		res.Expanded, res.MsgsSent, res.BytesSent)
+	if !res.Terminated || !res.OptimumOK || res.Optimum != seq.Value {
+		log.Fatal("distributed optimum does not match the sequential engine")
+	}
+	// The engine minimizes the negated objective; -Optimum is packed value.
+	fmt.Printf("survivors packed value %.0f over real sockets, no tree on disk\n",
+		-res.Optimum)
+}

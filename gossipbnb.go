@@ -10,9 +10,10 @@
 //     paper's fault-tolerance and termination-detection mechanism;
 //   - the canonical protocol vocabulary: the one wire-message set and
 //     binary codec every runtime speaks (internal/protocol);
-//   - a sequential branch-and-bound engine with pluggable selection rules
-//     and a knapsack workload;
-//   - "basic trees": recorded search trees that drive the simulator;
+//   - a sequential branch-and-bound engine with pluggable selection rules,
+//     knapsack and QAP workloads, and a code-driven expander that
+//     re-derives any subproblem from its code plus the initial data;
+//   - "basic trees": recorded search trees that drive replay runs;
 //   - the deterministic discrete-event simulation of the full distributed
 //     algorithm, with crash, loss and partition injection;
 //   - the DIB and centralized manager-worker baselines;
@@ -160,6 +161,28 @@ func NewQAP(flow, dist [][]float64) (*QAP, error) { return bnb.NewQAP(flow, dist
 // RandomQAP generates a symmetric random instance of order n.
 func RandomQAP(r *rand.Rand, n int) *QAP { return bnb.RandomQAP(r, n) }
 
+// --- code-driven expansion (§5.3.1 for real) -------------------------------------
+
+// Problem is the initial data of a code-driven workload: anything producing
+// the root subproblem. *Knapsack and *QAP satisfy it.
+type Problem = bnb.Problem
+
+// BnBExpander resolves subproblem codes by re-deriving solver state from
+// the initial problem data — the paper's central claim, exercised for real
+// instead of replayed from a recorded tree. Create one per process.
+type BnBExpander = bnb.Expander
+
+// NewBnBExpander builds a code-driven expander over p's initial data.
+func NewBnBExpander(p Problem) *BnBExpander { return bnb.NewExpander(p) }
+
+// ParseProblemSpec builds a Problem from "knapsack:<n>:<seed>" or
+// "qap:<n>:<seed>" — the vocabulary of cmd/dbbsim's -problem flag.
+func ParseProblemSpec(spec string) (Problem, error) { return bnb.ParseSpec(spec) }
+
+// SolveProblem runs the sequential engine over p: the single-processor
+// reference that distributed runs are cross-checked against.
+func SolveProblem(p Problem) SolveResult { return bnb.SolveProblem(p) }
+
 // --- basic trees (§6.2) -------------------------------------------------------------
 
 // Tree is a recorded ("basic") search tree: bounds, per-node costs,
@@ -220,9 +243,20 @@ type Partition = dbnb.Partition
 // TraceLog records per-process activity spans (ASCII Gantt of Figures 5/6).
 type TraceLog = trace.Log
 
-// Run simulates the decentralized fault-tolerant algorithm solving tree.
+// Run simulates the decentralized fault-tolerant algorithm replaying tree.
 // Runs are deterministic in (tree, cfg).
 func Run(tree *Tree, cfg SimConfig) SimResult { return dbnb.Run(tree, cfg) }
+
+// RunProblem simulates the algorithm solving a code-driven problem from its
+// initial data only — no recorded tree anywhere. Deterministic in
+// (problem, cfg); expansion charges SimConfig.NodeCost.
+func RunProblem(p Problem, cfg SimConfig) SimResult { return dbnb.RunProblem(p, cfg) }
+
+// RunProblemRef is RunProblem with a precomputed sequential reference
+// (from SolveProblem), sparing callers a second sequential solve.
+func RunProblemRef(p Problem, ref SolveResult, cfg SimConfig) SimResult {
+	return dbnb.RunProblemRef(p, ref, cfg)
+}
 
 // PaperLatency is the paper's communication model: 1.5 + 0.005·L ms.
 func PaperLatency() sim.LatencyModel { return sim.PaperLatency() }
@@ -279,5 +313,19 @@ type TCPNetwork = live.TCPNetwork
 // NewTCPNetwork creates listeners for n live nodes on 127.0.0.1.
 func NewTCPNetwork(n int) (*TCPNetwork, error) { return live.NewTCPNetwork(n) }
 
-// NewLiveCluster builds a live cluster solving tree.
+// NewLiveCluster builds a live cluster replaying tree.
 func NewLiveCluster(tree *Tree, cfg LiveConfig) *LiveCluster { return live.NewCluster(tree, cfg) }
+
+// NewLiveProblemCluster builds a live cluster solving a code-driven problem
+// from its initial data only: every process burns real CPU re-deriving
+// subproblems through its own BnBExpander.
+func NewLiveProblemCluster(p Problem, cfg LiveConfig) *LiveCluster {
+	return live.NewProblemCluster(p, cfg)
+}
+
+// NewLiveProblemClusterRef is NewLiveProblemCluster with a precomputed
+// sequential reference (from SolveProblem), sparing callers that already
+// solved the instance a second solve.
+func NewLiveProblemClusterRef(p Problem, ref SolveResult, cfg LiveConfig) *LiveCluster {
+	return live.NewProblemClusterRef(p, ref, cfg)
+}

@@ -1,0 +1,174 @@
+package bnb
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/protocol"
+)
+
+// Problem is the initial problem data of a code-driven workload: anything
+// that can produce the root subproblem. Every process of a distributed run
+// holds the same Problem, which is what makes subproblem codes
+// self-contained (§5.3.1). *Knapsack and *QAP satisfy it.
+type Problem interface {
+	Root() Subproblem
+}
+
+// maxCached bounds the expander's state cache. When exceeded, the cache is
+// reset to just the root: correctness never depends on the cache, it only
+// saves replaying decision paths, so a reset merely costs O(depth) branch
+// calls on the next cold Locate.
+const maxCached = 1 << 15
+
+// Expander is the code-driven protocol.Expander: it resolves a subproblem
+// code into live solver state by re-deriving it from the initial problem
+// data — the paper's central §5.3.1 claim, exercised for real instead of
+// replayed from a recorded tree.
+//
+// Reconstruction is incremental. States reached during normal expansion are
+// cached, so a child's state is derived from its parent's in one Branch
+// call; only codes arriving cold — work grants, failure recovery — replay
+// their ⟨variable, branch⟩ path from the deepest cached ancestor (worst
+// case the root). Because branching is deterministic, every process derives
+// identical state for the same code.
+//
+// An Expander is not safe for concurrent use: create one per process, which
+// also matches the model — each process re-derives subproblems from its own
+// copy of the initial data.
+type Expander struct {
+	root  Subproblem
+	cache map[string]Subproblem // code.Key() -> derived state
+}
+
+var _ protocol.Expander = (*Expander)(nil)
+
+// NewExpander builds an expander over p's initial data.
+func NewExpander(p Problem) *Expander {
+	return &Expander{root: p.Root(), cache: make(map[string]Subproblem)}
+}
+
+// state returns the solver state behind c, deriving it from the deepest
+// cached ancestor. ok is false when c disagrees with the deterministic
+// branching — a code no honest process can produce.
+func (e *Expander) state(c code.Code) (Subproblem, bool) {
+	if len(c) == 0 {
+		return e.root, true
+	}
+	if s, ok := e.cache[c.Key()]; ok {
+		return s, true
+	}
+	s, depth := e.root, 0
+	for d := len(c) - 1; d > 0; d-- {
+		if cs, ok := e.cache[c[:d].Key()]; ok {
+			s, depth = cs, d
+			break
+		}
+	}
+	for ; depth < len(c); depth++ {
+		v, zero, one, ok := s.Branch()
+		if !ok || v != c[depth].Var {
+			return nil, false
+		}
+		if c[depth].Branch == 0 {
+			s = zero
+		} else {
+			s = one
+		}
+		e.put(c[:depth+1].Key(), s)
+	}
+	return s, true
+}
+
+func (e *Expander) put(key string, s Subproblem) {
+	if len(e.cache) >= maxCached {
+		e.cache = make(map[string]Subproblem)
+	}
+	e.cache[key] = s
+}
+
+// Locate implements protocol.Expander: re-derive the state behind c and
+// price it. Ref is unused — the code itself is the handle.
+func (e *Expander) Locate(c code.Code) (protocol.Item, bool) {
+	s, ok := e.state(c)
+	if !ok {
+		return protocol.Item{}, false
+	}
+	return protocol.Item{Code: c, Bound: s.Bound()}, true
+}
+
+// Root implements protocol.Expander.
+func (e *Expander) Root() protocol.Item {
+	return protocol.Item{Code: code.Root(), Bound: e.root.Bound()}
+}
+
+// Outcome implements protocol.Expander: branch the subproblem exactly as
+// the sequential engine would — feasibility first, then decomposition —
+// computing children bounds on the fly. The expanded state leaves the
+// cache (it is never branched twice by the same process); its children
+// enter it, so the cache tracks the frontier, not the whole tree.
+func (e *Expander) Outcome(it protocol.Item) protocol.Outcome {
+	s, ok := e.state(it.Code)
+	if !ok {
+		// Unreachable for codes produced by honest processes; fathom
+		// defensively so the protocol completes rather than wedges.
+		return protocol.Outcome{}
+	}
+	delete(e.cache, it.Code.Key())
+	if val, feasible := s.Feasible(); feasible {
+		return protocol.Outcome{Feasible: true, Value: val}
+	}
+	v, zero, one, ok := s.Branch()
+	if !ok {
+		return protocol.Outcome{} // infeasible leaf
+	}
+	out := protocol.Outcome{Children: make([]protocol.Item, 0, 2)}
+	for b, child := range []Subproblem{zero, one} {
+		cc := it.Code.Child(v, uint8(b))
+		e.put(cc.Key(), child)
+		out.Children = append(out.Children, protocol.Item{Code: cc, Bound: child.Bound()})
+	}
+	return out
+}
+
+// SolveProblem runs the sequential engine of §2 over p's root with
+// depth-first selection and pruning: the single-processor reference every
+// distributed run is checked against.
+func SolveProblem(p Problem) Result {
+	return Solve(p.Root(), Options{Pool: NewDepthFirst()})
+}
+
+// ParseSpec builds a Problem from a compact spec string, the vocabulary of
+// cmd/dbbsim's -problem flag:
+//
+//	knapsack:<items>:<seed>   weakly correlated 0/1 knapsack
+//	qap:<order>:<seed>        symmetric quadratic assignment
+func ParseSpec(spec string) (Problem, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bnb: problem spec %q, want kind:size:seed", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("bnb: problem size %q", parts[1])
+	}
+	seed, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bnb: problem seed %q", parts[2])
+	}
+	r := rand.New(rand.NewSource(seed))
+	switch parts[0] {
+	case "knapsack":
+		return RandomKnapsack(r, n), nil
+	case "qap":
+		if n > 30 {
+			return nil, fmt.Errorf("bnb: QAP order %d exceeds the 30-facility encoding limit", n)
+		}
+		return RandomQAP(r, n), nil
+	default:
+		return nil, fmt.Errorf("bnb: unknown problem kind %q (want knapsack or qap)", parts[0])
+	}
+}

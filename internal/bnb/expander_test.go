@@ -1,0 +1,122 @@
+package bnb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/protocol"
+)
+
+// drive expands items through the expander the way a protocol driver would,
+// best-first with pruning, and returns the best feasible value found.
+func drive(t *testing.T, e *Expander) float64 {
+	t.Helper()
+	pool := []protocol.Item{e.Root()}
+	best := math.Inf(1)
+	for steps := 0; len(pool) > 0; steps++ {
+		if steps > 1<<20 {
+			t.Fatal("expander run did not finish")
+		}
+		it := pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if it.Bound >= best {
+			continue
+		}
+		out := e.Outcome(it)
+		if out.Feasible && out.Value < best {
+			best = out.Value
+		}
+		for _, ch := range out.Children {
+			if ch.Bound < best {
+				pool = append(pool, ch)
+			}
+		}
+	}
+	return best
+}
+
+// TestExpanderMatchesSequentialKnapsack drives a full solve through the
+// code-driven expander and checks the optimum against the sequential engine
+// over the same initial data — the §5.3.1 claim in miniature.
+func TestExpanderMatchesSequentialKnapsack(t *testing.T) {
+	k := RandomKnapsack(rand.New(rand.NewSource(3)), 14)
+	want := SolveProblem(k).Value
+	if got := drive(t, NewExpander(k)); got != want {
+		t.Fatalf("expander optimum = %g, sequential = %g", got, want)
+	}
+}
+
+func TestExpanderMatchesSequentialQAP(t *testing.T) {
+	q := RandomQAP(rand.New(rand.NewSource(4)), 5)
+	want := SolveProblem(q).Value
+	if got := drive(t, NewExpander(q)); got != want {
+		t.Fatalf("expander optimum = %g, sequential = %g", got, want)
+	}
+}
+
+// TestExpanderColdLocate resolves a deep code on a fresh expander — the
+// work-grant / failure-recovery path, where no ancestor state is cached and
+// the whole decision path replays from the initial data.
+func TestExpanderColdLocate(t *testing.T) {
+	k := RandomKnapsack(rand.New(rand.NewSource(5)), 12)
+	// Build a deep code by walking branch 1 (take) on a warm expander.
+	warm := NewExpander(k)
+	it := warm.Root()
+	var deep protocol.Item
+	for depth := 0; depth < 6; depth++ {
+		out := warm.Outcome(it)
+		if len(out.Children) == 0 {
+			break
+		}
+		it = out.Children[1]
+		deep = it
+	}
+	if deep.Code.Depth() == 0 {
+		t.Fatal("could not build a deep code")
+	}
+	cold := NewExpander(k)
+	got, ok := cold.Locate(deep.Code)
+	if !ok {
+		t.Fatalf("cold Locate(%v) failed", deep.Code)
+	}
+	if got.Bound != deep.Bound {
+		t.Fatalf("cold bound %g != warm bound %g for %v", got.Bound, deep.Bound, deep.Code)
+	}
+	// And the re-derived state branches identically.
+	w, c := warm.Outcome(deep), cold.Outcome(got)
+	if w.Feasible != c.Feasible || w.Value != c.Value || len(w.Children) != len(c.Children) {
+		t.Fatalf("warm/cold outcomes differ: %+v vs %+v", w, c)
+	}
+	for i := range w.Children {
+		if !w.Children[i].Code.Equal(c.Children[i].Code) || w.Children[i].Bound != c.Children[i].Bound {
+			t.Fatalf("child %d differs: %+v vs %+v", i, w.Children[i], c.Children[i])
+		}
+	}
+}
+
+// TestExpanderRejectsForeignCodes: a code whose decision variables disagree
+// with the deterministic branching identifies no subproblem.
+func TestExpanderRejectsForeignCodes(t *testing.T) {
+	k := RandomKnapsack(rand.New(rand.NewSource(6)), 8)
+	e := NewExpander(k)
+	// Knapsack branches variable i+1 at depth i, so x99 at depth 0 is bogus.
+	if _, ok := e.Locate(code.Root().Child(99, 0)); ok {
+		t.Fatal("Locate accepted a code with a foreign branch variable")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	if _, err := ParseSpec("knapsack:10:1"); err != nil {
+		t.Errorf("knapsack spec rejected: %v", err)
+	}
+	if _, err := ParseSpec("qap:4:1"); err != nil {
+		t.Errorf("qap spec rejected: %v", err)
+	}
+	for _, bad := range []string{"", "knapsack", "knapsack:0:1", "tsp:5:1", "qap:40:1", "qap:x:1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -7,9 +7,10 @@
 // detection — lives in internal/protocol, shared verbatim with the live
 // goroutine runtime (internal/live). This package is the deterministic-sim
 // driver: it feeds virtual time and internal/sim network events into the
-// core, charges the modeled CPU costs of the paper's evaluation, and
-// replays a recorded basic tree (internal/btree), exactly as the paper's
-// Parsec experiments did.
+// core and charges the modeled CPU costs of the paper's evaluation. It
+// solves either a recorded basic tree (Run — exactly the paper's Parsec
+// experiments) or a real code-driven problem expanded from its initial
+// data (RunProblem).
 package dbnb
 
 import (
@@ -53,6 +54,14 @@ type Config struct {
 	// ("we tuned this granularity by multiplying all time values by a
 	// constant factor"). 0 means 1.
 	CostFactor float64
+
+	// NodeCost is the modeled CPU seconds per expansion in code-driven
+	// problem runs (RunProblem), standing in for the per-node costs a basic
+	// tree records. The charge for each subproblem jitters ±50% by a hash
+	// of its code, so runs stay deterministic in (problem, seed, config)
+	// while avoiding system-wide lockstep. 0 means 0.01. Tree replays
+	// (Run) ignore it.
+	NodeCost float64
 
 	// Prune enables incumbent-based elimination. The paper prunes real
 	// trees and runs random trees "without eliminating the unpromising
@@ -145,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CostFactor <= 0 {
 		c.CostFactor = 1
+	}
+	if c.NodeCost <= 0 {
+		c.NodeCost = 0.01
 	}
 	if c.ReportBatch <= 0 {
 		c.ReportBatch = 8

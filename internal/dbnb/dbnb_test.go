@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"gossipbnb/internal/bnb"
 	"gossipbnb/internal/btree"
 	"gossipbnb/internal/metrics"
 	"gossipbnb/internal/trace"
@@ -135,6 +136,29 @@ func TestCrashRecoverySingleSurvivor(t *testing.T) {
 	}
 	if survivors == 0 {
 		t.Error("no process used complement-based recovery")
+	}
+}
+
+// TestProblemRunCrashRecovery crashes processes mid-run of a code-driven
+// problem: the survivors' complement recovery must re-derive the lost
+// subproblems cold from the initial data (no recorded tree exists to look
+// them up in) and still find the sequential optimum.
+func TestProblemRunCrashRecovery(t *testing.T) {
+	k := bnb.RandomKnapsack(rand.New(rand.NewSource(21)), 12)
+	res := RunProblem(k, Config{
+		Procs: 4, Seed: 21, Prune: true,
+		RecoveryQuiet: 3,
+		Crashes:       []Crash{{Time: 0.05, Node: 0}, {Time: 0.1, Node: 2}},
+	})
+	mustTerminate(t, res)
+	if res.Time < 0.1 {
+		t.Fatalf("run ended at %gs, before the scheduled crashes bit", res.Time)
+	}
+	if !math.IsNaN(res.DetectTimes[0]) || !math.IsNaN(res.DetectTimes[2]) {
+		t.Error("crashed processes should have NaN detect times")
+	}
+	if want := bnb.SolveProblem(k).Value; res.Optimum != want {
+		t.Errorf("optimum after crashes = %g, sequential = %g", res.Optimum, want)
 	}
 }
 

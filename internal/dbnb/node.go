@@ -24,6 +24,7 @@ type node struct {
 	id   sim.NodeID
 	h    *harness
 	core *protocol.Core
+	exp  protocol.Expander // this process's own code resolver
 
 	busy       bool
 	crashed    bool
@@ -60,7 +61,7 @@ func (s nodeSender) Send(to protocol.NodeID, m protocol.Msg) {
 }
 
 func newNode(id sim.NodeID, h *harness) *node {
-	n := &node{id: id, h: h, idleStart: -1, met: &h.met.Nodes[id]}
+	n := &node{id: id, h: h, exp: h.w.newExpander(), idleStart: -1, met: &h.met.Nodes[id]}
 	cfg := &h.cfg
 	n.core = protocol.New(protocol.NodeID(id), protocol.Config{
 		Select:           cfg.Select,
@@ -77,7 +78,7 @@ func newNode(id sim.NodeID, h *harness) *node {
 	}, protocol.Deps{
 		Clock:         h.k,
 		Sender:        nodeSender{n},
-		Expander:      protocol.TreeExpander{Tree: h.tree},
+		Expander:      n.exp,
 		Peers:         n.peerView,
 		Rand:          func(m int) int { return h.k.Rand().Intn(m) },
 		RandFloat:     func() float64 { return h.k.Rand().Float64() },
@@ -131,11 +132,10 @@ func (n *node) loop() {
 	}
 }
 
-// expand pays the recorded node cost, then reports the branching outcome to
-// the core.
+// expand pays the workload's modeled node cost, then reports the branching
+// outcome the expander computes to the core.
 func (n *node) expand(it protocol.Item) {
-	tn := &n.h.tree.Nodes[it.Ref]
-	cost := tn.Cost * n.h.cfg.CostFactor
+	cost := n.h.w.costOf(it) * n.h.cfg.CostFactor
 	n.busy = true
 	start := n.h.k.Now()
 	n.h.k.After(cost, func() {
@@ -148,7 +148,7 @@ func (n *node) expand(it protocol.Item) {
 		n.h.cfg.Trace.Add(int(n.id), trace.Compute, start, now)
 		n.met.Expanded++
 		n.h.noteExpansion(n, it.Code)
-		n.core.OnExpanded(it, protocol.TreeExpander{Tree: n.h.tree}.Outcome(it), now-start)
+		n.core.OnExpanded(it, n.exp.Outcome(it), now-start)
 		n.loop()
 	})
 }

@@ -1,8 +1,10 @@
 package dbnb
 
 import (
+	"hash/fnv"
 	"math"
 
+	"gossipbnb/internal/bnb"
 	"gossipbnb/internal/btree"
 	"gossipbnb/internal/code"
 	"gossipbnb/internal/ctree"
@@ -44,12 +46,29 @@ type Result struct {
 	Net sim.NetStats
 }
 
+// workload is what a simulated run solves: either a recorded basic tree
+// (Run) or a code-driven problem expanded from initial data (RunProblem).
+// The harness never looks past this struct, so the two modes share every
+// line of driver code.
+type workload struct {
+	// newExpander builds one expander per process — processes re-derive
+	// subproblems independently, exactly as the paper's model prescribes.
+	newExpander func() protocol.Expander
+	// costOf is the modeled CPU seconds charged for expanding it, before
+	// the CostFactor granularity knob.
+	costOf func(it protocol.Item) float64
+	// trueOpt is the single-processor reference optimum.
+	trueOpt float64
+	// sizeHint estimates distinct subproblems, for map sizing only.
+	sizeHint int
+}
+
 // harness owns one simulated run.
 type harness struct {
 	cfg      Config
 	k        *sim.Kernel
 	nw       *sim.Network
-	tree     *btree.Tree
+	w        workload
 	nodes    []*node
 	members  []*member.Member
 	met      *metrics.System
@@ -121,17 +140,59 @@ func (h *harness) noteTermination(n *node) {
 	}
 }
 
-// Run simulates the algorithm of §5 solving the given basic tree and returns
-// the measured result. Runs are deterministic in (tree, cfg).
+// Run simulates the algorithm of §5 replaying the given basic tree and
+// returns the measured result. Runs are deterministic in (tree, cfg).
 func Run(tree *btree.Tree, cfg Config) Result {
+	exp := btree.Expander{Tree: tree}
+	return run(cfg, workload{
+		newExpander: func() protocol.Expander { return exp },
+		costOf:      func(it protocol.Item) float64 { return tree.Nodes[it.Ref].Cost },
+		trueOpt:     tree.Stats().Optimum,
+		sizeHint:    tree.Size(),
+	})
+}
+
+// RunProblem simulates the algorithm of §5 solving a code-driven problem
+// from its initial data only — no recorded tree anywhere. Every process
+// re-derives subproblems through its own bnb expander; expansion charges
+// the modeled NodeCost (jittered deterministically per code). The
+// single-processor reference optimum is established first by the
+// sequential engine, so Result.OptimumOK is a real cross-check. Runs are
+// deterministic in (problem, cfg).
+func RunProblem(p bnb.Problem, cfg Config) Result {
+	return RunProblemRef(p, bnb.SolveProblem(p), cfg)
+}
+
+// RunProblemRef is RunProblem with a precomputed sequential reference,
+// sparing callers that already solved the instance a second solve.
+func RunProblemRef(p bnb.Problem, ref bnb.Result, cfg Config) Result {
+	base := cfg.withDefaults().NodeCost
+	return run(cfg, workload{
+		newExpander: func() protocol.Expander { return bnb.NewExpander(p) },
+		costOf:      func(it protocol.Item) float64 { return base * costJitter(it.Code) },
+		trueOpt:     ref.Value,
+		sizeHint:    ref.Expanded,
+	})
+}
+
+// costJitter maps a code to a deterministic factor in [0.5, 1.5), giving
+// code-driven runs irregular per-node costs without a randomness source
+// that would break (problem, seed, config) determinism.
+func costJitter(c code.Code) float64 {
+	h := fnv.New32a()
+	h.Write([]byte(c.Key()))
+	return 0.5 + float64(h.Sum32()%1024)/1024
+}
+
+func run(cfg Config, w workload) Result {
 	cfg = cfg.withDefaults()
 	h := &harness{
 		cfg:      cfg,
 		k:        sim.New(cfg.Seed),
-		tree:     tree,
+		w:        w,
 		met:      metrics.NewSystem(cfg.Procs),
 		union:    ctree.New(),
-		expanded: make(map[string]bool, tree.Size()),
+		expanded: make(map[string]bool, w.sizeHint),
 	}
 	h.nw = sim.NewNetwork(h.k, cfg.Latency)
 	h.nw.SetLoss(cfg.Loss)
@@ -169,7 +230,7 @@ func Run(tree *btree.Tree, cfg Config) Result {
 
 	// Process 0 starts with the original problem; everyone else pulls work
 	// through the load-balancing mechanism.
-	h.nodes[0].core.Seed(protocol.TreeExpander{Tree: tree}.Root())
+	h.nodes[0].core.Seed(h.nodes[0].exp.Root())
 
 	for i := range h.nodes {
 		n := h.nodes[i]
@@ -216,7 +277,7 @@ func Run(tree *btree.Tree, cfg Config) Result {
 		Unique:      len(h.expanded),
 		Completions: h.completions,
 	}
-	trueOpt := tree.Stats().Optimum
+	trueOpt := h.w.trueOpt
 	res.Terminated = true
 	anyDetected := false
 	for i, n := range h.nodes {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gossipbnb/internal/bnb"
 	"gossipbnb/internal/btree"
 	"gossipbnb/internal/protocol"
 )
@@ -81,6 +82,7 @@ type liveNode struct {
 	cl    *Cluster
 	inbox <-chan Envelope
 	core  *protocol.Core
+	exp   protocol.Expander // this process's own code resolver
 
 	crashed atomic.Bool
 	done    atomic.Bool
@@ -88,13 +90,21 @@ type liveNode struct {
 	lastProbe time.Time // paces starvation probes RetryDelay apart
 }
 
-// Cluster wires live nodes over a shared transport.
+// Cluster wires live nodes over a shared transport. It solves either a
+// recorded basic tree (NewCluster: expansion sleeps the scaled recorded
+// cost) or a code-driven problem (NewProblemCluster: expansion burns real
+// CPU re-deriving bounds from the initial data).
 type Cluster struct {
-	cfg     Config
-	tree    *btree.Tree
-	tr      Net
-	start   time.Time
-	nodes   []*liveNode
+	cfg   Config
+	tr    Net
+	start time.Time
+	nodes []*liveNode
+	// sleepOf is the scaled seconds an expansion sleeps before the expander
+	// computes the outcome; zero for code-driven problems, whose outcome
+	// computation is itself the work.
+	sleepOf func(it protocol.Item) float64
+	// trueOpt is the single-processor reference optimum for OptimumOK.
+	trueOpt float64
 	wg      sync.WaitGroup
 	doneCh  chan NodeID
 	stopAll chan struct{}
@@ -117,18 +127,48 @@ func (s liveSender) Send(to protocol.NodeID, m protocol.Msg) {
 	s.n.cl.tr.Send(s.n.id, NodeID(to), m)
 }
 
-// NewCluster builds a cluster solving tree under cfg.
+// NewCluster builds a cluster replaying a recorded basic tree under cfg:
+// each expansion sleeps the recorded node cost scaled by TimeScale.
 func NewCluster(tree *btree.Tree, cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
+	exp := btree.Expander{Tree: tree}
+	return newCluster(cfg,
+		func() protocol.Expander { return exp },
+		func(it protocol.Item) float64 { return tree.Nodes[it.Ref].Cost * cfg.TimeScale },
+		tree.Stats().Optimum)
+}
+
+// NewProblemCluster builds a cluster solving a code-driven problem from its
+// initial data only — no recorded tree anywhere. Every process owns a bnb
+// expander and burns real CPU per expansion re-deriving bounds and
+// branching. The single-processor reference optimum is established first by
+// the sequential engine, so Result.OptimumOK is a real cross-check.
+func NewProblemCluster(p bnb.Problem, cfg Config) *Cluster {
+	return NewProblemClusterRef(p, bnb.SolveProblem(p), cfg)
+}
+
+// NewProblemClusterRef is NewProblemCluster with a precomputed sequential
+// reference, sparing callers that already solved the instance a second
+// solve.
+func NewProblemClusterRef(p bnb.Problem, ref bnb.Result, cfg Config) *Cluster {
+	return newCluster(cfg.withDefaults(),
+		func() protocol.Expander { return bnb.NewExpander(p) },
+		nil,
+		ref.Value)
+}
+
+// newCluster wires nodes over the transport; cfg already has defaults.
+func newCluster(cfg Config, newExp func() protocol.Expander, sleepOf func(it protocol.Item) float64, trueOpt float64) *Cluster {
 	tr := cfg.Network
 	if tr == nil {
 		tr = NewTransport(cfg.Seed, cfg.Delay, cfg.Loss)
 	}
 	cl := &Cluster{
 		cfg:     cfg,
-		tree:    tree,
 		tr:      tr,
 		start:   time.Now(),
+		sleepOf: sleepOf,
+		trueOpt: trueOpt,
 		doneCh:  make(chan NodeID, cfg.Nodes),
 		stopAll: make(chan struct{}),
 		rngSeed: cfg.Seed,
@@ -136,7 +176,7 @@ func NewCluster(tree *btree.Tree, cfg Config) *Cluster {
 	clock := liveClock{start: cl.start}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := NodeID(i)
-		n := &liveNode{id: id, cl: cl, inbox: cl.tr.Register(id)}
+		n := &liveNode{id: id, cl: cl, inbox: cl.tr.Register(id), exp: newExp()}
 		n.core = protocol.New(protocol.NodeID(id), protocol.Config{
 			Select:           cfg.Select,
 			Prune:            cfg.Prune,
@@ -149,14 +189,14 @@ func NewCluster(tree *btree.Tree, cfg Config) *Cluster {
 		}, protocol.Deps{
 			Clock:     clock,
 			Sender:    liveSender{n},
-			Expander:  protocol.TreeExpander{Tree: tree},
+			Expander:  n.exp,
 			Peers:     n.peers,
 			Rand:      cl.rand,
 			RandFloat: cl.randFloat,
 		})
 		cl.nodes = append(cl.nodes, n)
 	}
-	cl.nodes[0].core.Seed(protocol.TreeExpander{Tree: tree}.Root())
+	cl.nodes[0].core.Seed(cl.nodes[0].exp.Root())
 	return cl
 }
 
@@ -243,7 +283,7 @@ loop:
 		}
 	}
 	res.Terminated = terminatedAll && crashedCount < len(cl.nodes) && !timedOut
-	res.OptimumOK = res.Terminated && res.Optimum == cl.tree.Stats().Optimum
+	res.OptimumOK = res.Terminated && res.Optimum == cl.trueOpt
 	sent, _, bytes := cl.tr.Stats()
 	res.MsgsSent, res.BytesSent = sent, bytes
 	return res
@@ -318,14 +358,22 @@ func (n *liveNode) handle(env Envelope) protocol.Effect {
 	return n.core.HandleMessage(protocol.NodeID(env.From), pm)
 }
 
-// expand sleeps the scaled node cost and reports the branching outcome.
+// expand performs one unit of work: tree replays sleep the scaled recorded
+// cost and then translate the recorded outcome; code-driven problems spend
+// their time inside Outcome itself, re-deriving bounds from the initial
+// data. Either way the elapsed seconds feed the core's adaptive pacing.
 func (n *liveNode) expand(it protocol.Item) {
-	cost := n.cl.tree.Nodes[it.Ref].Cost * n.cl.cfg.TimeScale
-	time.Sleep(time.Duration(cost * float64(time.Second)))
+	sleep := 0.0
+	if n.cl.sleepOf != nil {
+		sleep = n.cl.sleepOf(it)
+		time.Sleep(time.Duration(sleep * float64(time.Second)))
+	}
+	start := time.Now()
+	out := n.exp.Outcome(it)
 	if n.crashed.Load() {
 		return
 	}
-	n.core.OnExpanded(it, protocol.TreeExpander{Tree: n.cl.tree}.Outcome(it), cost)
+	n.core.OnExpanded(it, out, sleep+time.Since(start).Seconds())
 }
 
 // starve runs the core's out-of-work decision, then supplies the substrate

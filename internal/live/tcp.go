@@ -52,7 +52,7 @@ func NewTCPNetwork(n int) (*TCPNetwork, error) {
 		}
 		t.lns[id] = ln
 		t.addrs[id] = ln.Addr().String()
-		t.inboxes[id] = make(chan Envelope, 4096)
+		t.inboxes[id] = make(chan Envelope, inboxCap)
 		t.wg.Add(1)
 		go t.acceptLoop(id, ln)
 	}
@@ -167,11 +167,13 @@ func (t *TCPNetwork) readLoop(to NodeID, conn net.Conn) {
 		ch := t.inboxes[to]
 		t.mu.Unlock()
 		if dead {
+			t.drop() // decoded but the receiver died: the message vanished
 			return
 		}
 		select {
 		case ch <- env:
 		default: // inbox overflow: drop, like a congested receiver
+			t.drop()
 		}
 	}
 }

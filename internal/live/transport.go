@@ -50,6 +50,8 @@ type Transport struct {
 	mu      sync.Mutex
 	inboxes map[NodeID]chan Envelope
 	crashed map[NodeID]bool
+	timers  map[*time.Timer]struct{} // in-flight delayed deliveries
+	closed  bool
 	rng     *rand.Rand
 	delay   func(bytes int) time.Duration
 	loss    float64
@@ -64,17 +66,22 @@ func NewTransport(seed int64, delay func(bytes int) time.Duration, loss float64)
 	return &Transport{
 		inboxes: map[NodeID]chan Envelope{},
 		crashed: map[NodeID]bool{},
+		timers:  map[*time.Timer]struct{}{},
 		rng:     rand.New(rand.NewSource(seed)),
 		delay:   delay,
 		loss:    loss,
 	}
 }
 
+// inboxCap is the buffered capacity of every node inbox; sends beyond it
+// drop, like a congested receiver.
+const inboxCap = 4096
+
 // Register creates the inbox for id and returns it.
 func (t *Transport) Register(id NodeID) <-chan Envelope {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	ch := make(chan Envelope, 4096)
+	ch := make(chan Envelope, inboxCap)
 	t.inboxes[id] = ch
 	return ch
 }
@@ -93,11 +100,13 @@ func (t *Transport) Crashed(id NodeID) bool {
 	return t.crashed[id]
 }
 
-// Send queues msg for delivery. Lost messages, crashed endpoints, and full
-// inboxes all drop silently — the asynchronous model of §4.
+// Send queues msg for delivery. Lost messages, crashed or unregistered
+// endpoints, and full inboxes all drop silently — the asynchronous model of
+// §4 — but every message that vanishes is counted in Stats' dropped column,
+// so loss metrics see congestion and crash losses, not just injected loss.
 func (t *Transport) Send(from, to NodeID, msg Message) {
 	t.mu.Lock()
-	if t.crashed[from] || t.crashed[to] {
+	if t.closed || t.crashed[from] || t.crashed[to] {
 		t.mu.Unlock()
 		return
 	}
@@ -109,28 +118,58 @@ func (t *Transport) Send(from, to NodeID, msg Message) {
 		return
 	}
 	ch := t.inboxes[to]
+	if ch == nil {
+		t.dropped++ // unregistered destination: the message vanishes
+		t.mu.Unlock()
+		return
+	}
 	var d time.Duration
 	if t.delay != nil {
 		d = t.delay(msg.Size())
 	}
-	t.mu.Unlock()
-	if ch == nil {
+	env := Envelope{From: from, Msg: msg}
+	if d <= 0 {
+		t.mu.Unlock()
+		t.deliver(ch, env, to)
 		return
 	}
-	deliver := func() {
-		if t.Crashed(to) {
+	// Delayed delivery: register the timer so Close can stop it — an
+	// untracked timer outlives the cluster and delivers into inboxes after
+	// teardown.
+	var tm *time.Timer
+	tm = time.AfterFunc(d, func() {
+		t.mu.Lock()
+		delete(t.timers, tm)
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			t.drop() // torn down mid-flight; Close lost the Stop race
 			return
 		}
-		select {
-		case ch <- Envelope{From: from, Msg: msg}:
-		default: // inbox overflow: drop, like a congested link
-		}
-	}
-	if d <= 0 {
-		deliver()
+		t.deliver(ch, env, to)
+	})
+	t.timers[tm] = struct{}{}
+	t.mu.Unlock()
+}
+
+// deliver hands env to the inbox unless the destination crashed meanwhile;
+// either way that the message vanishes, it is counted dropped.
+func (t *Transport) deliver(ch chan Envelope, env Envelope, to NodeID) {
+	if t.Crashed(to) {
+		t.drop()
 		return
 	}
-	time.AfterFunc(d, deliver)
+	select {
+	case ch <- env:
+	default:
+		t.drop() // inbox overflow: drop, like a congested link
+	}
+}
+
+func (t *Transport) drop() {
+	t.mu.Lock()
+	t.dropped++
+	t.mu.Unlock()
 }
 
 // Stats returns (messages sent, messages dropped, payload bytes).
@@ -140,5 +179,26 @@ func (t *Transport) Stats() (sent, dropped, bytes int64) {
 	return t.sent, t.dropped, t.bytes
 }
 
-// Close implements Net; the in-memory transport holds no resources.
-func (t *Transport) Close() {}
+// Close implements Net: stop every pending delayed delivery so no timer
+// goroutine outlives the cluster and delivers into a torn-down inbox.
+// Stopped messages were sent but never arrived, so they count as dropped;
+// a timer that already fired counts its own fate.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	pending := make([]*time.Timer, 0, len(t.timers))
+	for tm := range t.timers {
+		pending = append(pending, tm)
+	}
+	t.timers = map[*time.Timer]struct{}{}
+	t.mu.Unlock()
+	for _, tm := range pending {
+		if tm.Stop() {
+			t.drop()
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"gossipbnb/internal/protocol"
+)
+
+// Regression tests for the transport's loss accounting and timer lifecycle:
+// every message that vanishes — unregistered destination, inbox overflow,
+// crash at delivery time, teardown mid-flight — must show up in Stats'
+// dropped column, and Close must stop pending delayed deliveries instead of
+// leaking timers that fire into a torn-down cluster.
+
+func TestTransportUnregisteredCountsDropped(t *testing.T) {
+	tr := NewTransport(1, nil, 0)
+	defer tr.Close()
+	tr.Send(0, 1, protocol.WorkDeny{}) // node 1 never registered
+	sent, dropped, _ := tr.Stats()
+	if sent != 1 || dropped != 1 {
+		t.Fatalf("sent=%d dropped=%d after a send to an unregistered node, want 1/1", sent, dropped)
+	}
+}
+
+func TestTransportOverflowCountsDropped(t *testing.T) {
+	tr := NewTransport(1, nil, 0)
+	defer tr.Close()
+	tr.Register(1) // nobody drains the inbox
+	const extra = 10
+	for i := 0; i < inboxCap+extra; i++ {
+		tr.Send(0, 1, protocol.WorkDeny{})
+	}
+	sent, dropped, _ := tr.Stats()
+	if sent != inboxCap+extra {
+		t.Fatalf("sent=%d, want %d", sent, inboxCap+extra)
+	}
+	if dropped != extra {
+		t.Fatalf("dropped=%d overflow messages, want %d", dropped, extra)
+	}
+}
+
+func TestTransportCrashAtDeliveryCountsDropped(t *testing.T) {
+	tr := NewTransport(1, func(int) time.Duration { return 20 * time.Millisecond }, 0)
+	defer tr.Close()
+	ch := tr.Register(1)
+	tr.Send(0, 1, protocol.WorkDeny{})
+	tr.Crash(1) // receiver dies while the message is in flight
+	deadline := time.After(2 * time.Second)
+	for {
+		if _, dropped, _ := tr.Stats(); dropped == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			_, dropped, _ := tr.Stats()
+			t.Fatalf("dropped=%d after crash-at-delivery, want 1", dropped)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	select {
+	case env := <-ch:
+		t.Fatalf("crashed node received %+v", env)
+	default:
+	}
+}
+
+func TestTransportCloseStopsPendingTimers(t *testing.T) {
+	tr := NewTransport(1, func(int) time.Duration { return 50 * time.Millisecond }, 0)
+	ch := tr.Register(1)
+	for i := 0; i < 8; i++ {
+		tr.Send(0, 1, protocol.WorkDeny{})
+	}
+	tr.Close() // before any delay elapses
+	time.Sleep(120 * time.Millisecond)
+	select {
+	case env := <-ch:
+		t.Fatalf("delivery after Close: %+v", env)
+	default:
+	}
+	sent, dropped, _ := tr.Stats()
+	if sent != 8 || dropped != 8 {
+		t.Fatalf("sent=%d dropped=%d after Close with 8 in flight, want 8/8", sent, dropped)
+	}
+	// Close is idempotent and a send after Close vanishes without counting.
+	tr.Close()
+	tr.Send(0, 1, protocol.WorkDeny{})
+	if s, _, _ := tr.Stats(); s != 8 {
+		t.Fatalf("sent=%d after a post-Close send, want 8", s)
+	}
+}

@@ -42,11 +42,22 @@ type Sender interface {
 	Send(to NodeID, m Msg)
 }
 
-// Expander resolves a self-contained subproblem code into an active-problem
-// Item (driver handle plus bound). ok is false when the code does not
-// identify a node of the problem being solved.
+// Expander is the full expansion contract of §5.3.1: subproblem codes are
+// self-contained, so together with the initial problem data an Expander can
+// resolve any code into live pool state and branch it. Implementations are
+// btree.Expander (replaying a recorded basic tree) and bnb.Expander
+// (re-deriving solver state from the initial data); this package knows
+// neither problem representation. An Expander need not be safe for
+// concurrent use: each process owns one.
 type Expander interface {
+	// Locate resolves a self-contained subproblem code into an active-problem
+	// Item (driver handle plus bound). ok is false when the code does not
+	// identify a node of the problem being solved.
 	Locate(c code.Code) (Item, bool)
+	// Root returns the seed item for the original problem.
+	Root() Item
+	// Outcome branches it, revealing feasibility, value, and children.
+	Outcome(it Item) Outcome
 }
 
 // SelectRule chooses which active problem a process branches next (§2).
@@ -545,14 +556,23 @@ func (c *Core) PlanRecovery() []code.Code {
 }
 
 // Adopt pushes the planned recovery codes that are still uncompleted and
-// resolvable, returning how many were re-created.
+// resolvable, returning how many were re-created. Codes dominated by the
+// incumbent are eliminated at adoption — completed, not pooled — exactly as
+// OnExpanded eliminates dominated children at generation; re-created work
+// that cannot matter must not sit in the pool delaying termination.
 func (c *Core) Adopt(cands []code.Code) int {
 	got := 0
 	for _, cd := range cands {
-		if it, ok := c.d.Expander.Locate(cd); ok && !c.table.Contains(cd) {
-			c.pool.push(it)
-			got++
+		it, ok := c.d.Expander.Locate(cd)
+		if !ok || c.table.Contains(cd) {
+			continue
 		}
+		if c.cfg.Prune && it.Bound >= c.incumbent {
+			c.complete(cd)
+			continue
+		}
+		c.pool.push(it)
+		got++
 	}
 	c.cnt.Recoveries += got
 	c.notePool()
@@ -643,7 +663,11 @@ func (c *Core) handleWorkRequest(from NodeID) {
 	c.cnt.WorkSent += len(codes)
 }
 
-// handleGrant adopts transferred problems.
+// handleGrant adopts transferred problems. Codes dominated by the incumbent
+// (the grant may have been cut before the granter learned of it) are
+// eliminated on arrival the same way OnExpanded eliminates dominated
+// children: completed and reported, never pooled. An all-eliminated grant
+// still counts as progress — the completions it produced will gossip.
 func (c *Core) handleGrant(g WorkGrant) Effect {
 	var eff Effect
 	if c.reqPending {
@@ -654,6 +678,11 @@ func (c *Core) handleGrant(g WorkGrant) Effect {
 	for _, cd := range g.Codes {
 		it, ok := c.d.Expander.Locate(cd)
 		if !ok || c.table.Contains(cd) {
+			continue
+		}
+		if c.cfg.Prune && it.Bound >= c.incumbent {
+			c.complete(cd)
+			got++
 			continue
 		}
 		c.pool.push(it)

@@ -57,7 +57,12 @@ func (f fakeTree) Locate(c code.Code) (Item, bool) {
 	return Item{Code: c, Bound: f.bound(c)}, true
 }
 
-func (f fakeTree) outcome(it Item) Outcome {
+func (f fakeTree) Root() Item {
+	it, _ := f.Locate(code.Root())
+	return it
+}
+
+func (f fakeTree) Outcome(it Item) Outcome {
 	if len(it.Code) == f.depth {
 		return Outcome{Feasible: true, Value: float64(100 - f.ones(it.Code))}
 	}
@@ -99,7 +104,7 @@ func (e *env) solve(t *testing.T) {
 		switch st {
 		case Expand:
 			e.clk.t += 0.01
-			e.core.OnExpanded(it, e.tree.outcome(it), 0.01)
+			e.core.OnExpanded(it, e.tree.Outcome(it), 0.01)
 		case Terminated:
 			return
 		case Idle:
@@ -294,7 +299,7 @@ func TestCoreTerminationBroadcastAndRelay(t *testing.T) {
 		if st != Expand {
 			t.Fatalf("unexpected status %v", st)
 		}
-		e.core.OnExpanded(it, e.tree.outcome(it), 0.01)
+		e.core.OnExpanded(it, e.tree.Outcome(it), 0.01)
 	}
 	// The final broadcast: one root report per peer.
 	var roots int
@@ -336,7 +341,7 @@ func TestCoreReportBatchingAndPacing(t *testing.T) {
 			break
 		}
 		e.clk.t += 10 // coarse granularity: 10s per subproblem
-		e.core.OnExpanded(it, e.tree.outcome(it), 10)
+		e.core.OnExpanded(it, e.tree.Outcome(it), 10)
 	}
 	if e.core.outbox.Len() == 0 {
 		t.Fatal("nothing completed; test scenario broken")
@@ -356,6 +361,50 @@ func TestCoreReportBatchingAndPacing(t *testing.T) {
 	}
 	if e.core.ReportOverdue() {
 		t.Error("overdue right after a flush")
+	}
+}
+
+// TestCoreGrantEliminatesDominated is the regression test for the grant-side
+// pruning hole: stolen codes whose bound cannot beat the incumbent must be
+// eliminated on arrival (completed, like OnExpanded does at generation), not
+// parked in the pool where they delay termination detection.
+func TestCoreGrantEliminatesDominated(t *testing.T) {
+	e := newEnv(t, 4, Config{Prune: true}, []NodeID{1})
+	// fakeTree bounds sit near 100; an incumbent of 10 dominates everything.
+	e.core.HandleMessage(1, Report{Incumbent: 10})
+	dominated := code.Root().Child(1, 0)
+	eff := e.core.HandleMessage(1, WorkGrant{Codes: []code.Code{dominated}, Incumbent: 10})
+	if e.core.PoolLen() != 0 {
+		t.Fatalf("pool = %d, dominated grant was pooled instead of eliminated", e.core.PoolLen())
+	}
+	if !e.core.Table().Contains(dominated) {
+		t.Fatal("dominated grant not completed into the table")
+	}
+	// Elimination is progress: the completions will gossip, so the grant must
+	// not count as a failed attempt.
+	if eff.Failed {
+		t.Errorf("all-eliminated grant reported as failed: %+v", eff)
+	}
+}
+
+// TestCoreAdoptEliminatesDominated is the matching regression test for the
+// recovery path: complement codes dominated by the incumbent are fathomed at
+// adoption instead of being re-created as pool work.
+func TestCoreAdoptEliminatesDominated(t *testing.T) {
+	e := newEnv(t, 4, Config{Prune: true}, []NodeID{1})
+	e.core.HandleMessage(1, Report{Incumbent: 10})
+	dominated := code.Root().Child(1, 1)
+	if got := e.core.Adopt([]code.Code{dominated}); got != 0 {
+		t.Fatalf("Adopt re-created %d dominated problems", got)
+	}
+	if e.core.PoolLen() != 0 {
+		t.Fatalf("pool = %d after adopting a dominated code", e.core.PoolLen())
+	}
+	if !e.core.Table().Contains(dominated) {
+		t.Fatal("dominated recovery code not completed into the table")
+	}
+	if e.core.Counters().Recoveries != 0 {
+		t.Errorf("Recoveries = %d for an eliminated code", e.core.Counters().Recoveries)
 	}
 }
 

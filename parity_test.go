@@ -51,6 +51,68 @@ func TestSimLiveParity(t *testing.T) {
 	}
 }
 
+// TestThreeWayParityKnapsack is the acceptance check of the code-driven
+// expander: the same knapsack instance solved from initial data only — no
+// recorded tree anywhere — by the sequential engine, the deterministic
+// simulator, and a real goroutine cluster must agree on the optimum.
+func TestThreeWayParityKnapsack(t *testing.T) {
+	k := gossipbnb.RandomKnapsack(rand.New(rand.NewSource(41)), 16)
+	seq := gossipbnb.SolveProblem(k)
+
+	simCfg := gossipbnb.SimConfig{Procs: 4, Seed: 41, Prune: true}
+	sim := gossipbnb.RunProblemRef(k, seq, simCfg)
+	if !sim.Terminated || !sim.OptimumOK {
+		t.Fatalf("simulator problem run failed: %+v", sim)
+	}
+
+	cl := gossipbnb.NewLiveProblemClusterRef(k, seq, gossipbnb.LiveConfig{
+		Nodes: 4, Seed: 41, Prune: true, Timeout: 60 * time.Second,
+	})
+	live := cl.Run()
+	if !live.Terminated || !live.OptimumOK {
+		t.Fatalf("live problem run failed: %+v", live)
+	}
+
+	if sim.Optimum != seq.Value || live.Optimum != seq.Value {
+		t.Errorf("optima disagree: seq=%g sim=%g live=%g", seq.Value, sim.Optimum, live.Optimum)
+	}
+
+	// Problem runs stay deterministic in (problem, seed, config).
+	again := gossipbnb.RunProblemRef(k, seq, simCfg)
+	if again.Time != sim.Time || again.Expanded != sim.Expanded || again.Optimum != sim.Optimum {
+		t.Errorf("RunProblem not deterministic: (%g, %d, %g) vs (%g, %d, %g)",
+			sim.Time, sim.Expanded, sim.Optimum, again.Time, again.Expanded, again.Optimum)
+	}
+}
+
+// TestThreeWayParityQAP repeats the three-way check on the quadratic
+// assignment workload under depth-first selection, the paper's motivating
+// problem class.
+func TestThreeWayParityQAP(t *testing.T) {
+	q := gossipbnb.RandomQAP(rand.New(rand.NewSource(42)), 6)
+	seq := gossipbnb.SolveProblem(q)
+
+	sim := gossipbnb.RunProblemRef(q, seq, gossipbnb.SimConfig{
+		Procs: 4, Seed: 42, Prune: true, Select: gossipbnb.SelectDepthFirst,
+	})
+	if !sim.Terminated || !sim.OptimumOK {
+		t.Fatalf("simulator problem run failed: %+v", sim)
+	}
+
+	cl := gossipbnb.NewLiveProblemClusterRef(q, seq, gossipbnb.LiveConfig{
+		Nodes: 4, Seed: 42, Prune: true, Select: gossipbnb.SelectDepthFirst,
+		Timeout: 60 * time.Second,
+	})
+	live := cl.Run()
+	if !live.Terminated || !live.OptimumOK {
+		t.Fatalf("live problem run failed: %+v", live)
+	}
+
+	if sim.Optimum != seq.Value || live.Optimum != seq.Value {
+		t.Errorf("optima disagree: seq=%g sim=%g live=%g", seq.Value, sim.Optimum, live.Optimum)
+	}
+}
+
 // TestSimLiveParityDepthFirstPrune runs the parity check again under the
 // other selection rule with pruning, covering the steal-smallest-bound and
 // elimination paths of the shared core on both substrates.
