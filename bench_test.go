@@ -211,6 +211,25 @@ func BenchmarkRealKnapsackLive(b *testing.B) {
 	}
 }
 
+// BenchmarkStress1000 is the 1000-process scale tier: a deep (30-item)
+// knapsack solved from initial data on 1000 simulated processes. Most of the
+// thousand processes starve, probe, gossip tables, and chase the final
+// termination broadcast, so the run leans on exactly the paths the
+// completion-table hot-path work optimizes — report flushes, table merges,
+// wire-size queries, and peer-view fan-out — at 10× the paper's largest
+// processor count.
+func BenchmarkStress1000(b *testing.B) {
+	k := RandomKnapsack(rand.New(rand.NewSource(7)), 30)
+	seq := SolveProblem(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunProblemRef(k, seq, SimConfig{Procs: 1000, Seed: 7, Prune: true})
+		if !res.Terminated || !res.OptimumOK {
+			b.Fatal("stress run failed to terminate at the optimum")
+		}
+	}
+}
+
 // BenchmarkRealQAPSim solves a QAP instance from initial data through the
 // simulator under depth-first selection.
 func BenchmarkRealQAPSim(b *testing.B) {

@@ -1,45 +1,59 @@
 // Command benchsnap converts `go test -bench` output on stdin into the
 // JSON snapshot format of BENCH_baseline.json, so perf PRs have a committed
-// trajectory to compare against.
+// trajectory to compare against. With -benchmem in the bench run, the
+// snapshot also records B/op and allocs/op.
 //
 // Usage:
 //
-//	go test -bench=. -benchtime=1x -run '^$' . | go run ./cmd/benchsnap > BENCH_baseline.json
+//	go test -bench=. -benchmem -benchtime=1x -run '^$' . | go run ./cmd/benchsnap > BENCH_baseline.json
+//
+// With -baseline, the fresh snapshot is compared entry-by-entry against a
+// committed baseline and a per-benchmark ratio table is printed to stderr
+// (the JSON still goes to stdout). Wall-clock ratios move with hardware, so
+// CI treats the table as informational; allocs/op is hardware-independent
+// and is the number to watch.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"strconv"
 )
 
-// Snapshot is the committed baseline: one entry per benchmark, nanoseconds
-// per op. Wall-clock numbers move with hardware, so comparisons should read
-// ratios between entries of the same snapshot against ratios in a new one,
-// not absolute times across machines.
+// Snapshot is the committed baseline: one entry per benchmark. Wall-clock
+// numbers move with hardware, so comparisons should read ratios between
+// entries of the same snapshot against ratios in a new one, not absolute
+// times across machines. allocs/op and B/op are machine-independent.
 type Snapshot struct {
 	GOOS       string  `json:"goos"`
 	GOARCH     string  `json:"goarch"`
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
-// Bench is one benchmark measurement.
+// Bench is one benchmark measurement. BytesPerOp and AllocsPerOp are -1 when
+// the bench run did not pass -benchmem.
 type Bench struct {
-	Name     string  `json:"name"`
-	Iters    int64   `json:"iterations"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	SecPerOp float64 `json:"sec_per_op"`
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	SecPerOp    float64 `json:"sec_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
 var (
-	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 	metaLine  = regexp.MustCompile(`^(goos|goarch): (\S+)`)
 )
 
 func main() {
+	baseline := flag.String("baseline", "", "committed snapshot JSON to compare against (ratio table on stderr)")
+	flag.Parse()
+
 	snap := Snapshot{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -65,9 +79,15 @@ func main() {
 		if err != nil {
 			continue
 		}
-		snap.Benchmarks = append(snap.Benchmarks, Bench{
+		b := Bench{
 			Name: m[1], Iters: iters, NsPerOp: ns, SecPerOp: ns / 1e9,
-		})
+			BytesPerOp: -1, AllocsPerOp: -1,
+		}
+		if m[5] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			b.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
@@ -77,10 +97,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		if err := compare(os.Stderr, snap, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
+}
+
+// compare prints a per-benchmark ratio table of the fresh snapshot against
+// the committed baseline: ratio < 1 means the fresh run is better (faster,
+// fewer allocations).
+func compare(w *os.File, snap Snapshot, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	byName := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(w, "--- vs %s (ratio this/baseline; <1 is better; ns ratios move with hardware, allocs do not) ---\n", path)
+	fmt.Fprintf(w, "%-44s %14s %12s %14s %12s\n", "benchmark", "ns/op", "ns ratio", "allocs/op", "alloc ratio")
+	seen := make(map[string]bool, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		seen[b.Name] = true
+		old, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14.0f %12s %14s %12s\n", b.Name, b.NsPerOp, "new", allocs(b), "new")
+			continue
+		}
+		nsRatio := "n/a"
+		if old.NsPerOp > 0 {
+			nsRatio = fmt.Sprintf("%.2f", b.NsPerOp/old.NsPerOp)
+		}
+		// -1 means the run lacked -benchmem; a measured 0 is real data, and a
+		// 0 → N move is precisely the regression the table exists to show.
+		allocRatio := "n/a"
+		switch {
+		case old.AllocsPerOp > 0 && b.AllocsPerOp >= 0:
+			allocRatio = fmt.Sprintf("%.2f", float64(b.AllocsPerOp)/float64(old.AllocsPerOp))
+		case old.AllocsPerOp == 0 && b.AllocsPerOp > 0:
+			allocRatio = "+inf"
+		case old.AllocsPerOp == 0 && b.AllocsPerOp == 0:
+			allocRatio = "1.00"
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %12s %14s %12s\n", b.Name, b.NsPerOp, nsRatio, allocs(b), allocRatio)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "%-44s %43s\n", b.Name, "MISSING from this run")
+		}
+	}
+	return nil
+}
+
+func allocs(b Bench) string {
+	if b.AllocsPerOp < 0 {
+		return "n/a"
+	}
+	return strconv.FormatInt(b.AllocsPerOp, 10)
 }

@@ -77,6 +77,15 @@ func (c Code) Child(v uint32, b uint8) Code {
 	return ch
 }
 
+// AppendChild appends the decision ⟨v,b⟩ to c in place, like append: the
+// result shares c's storage when capacity allows. It is the
+// append-into-scratch counterpart of Child for callers that own a reusable
+// prefix buffer (the completion-table walks); everyone else should use Child,
+// which never aliases.
+func (c Code) AppendChild(v uint32, b uint8) Code {
+	return append(c, Decision{Var: v, Branch: b & 1})
+}
+
 // Clone returns a copy of c that shares no storage with it.
 func (c Code) Clone() Code {
 	d := make(Code, len(c))
@@ -225,6 +234,13 @@ func (c Code) Append(dst []byte) []byte {
 		dst = binary.AppendUvarint(dst, uint64(d.Var)<<1|uint64(d.Branch))
 	}
 	return dst
+}
+
+// EncodeInto encodes c into buf's storage, reusing its capacity: it is
+// Append(buf[:0]). Callers that encode in a loop (framing, report flushes)
+// keep one buffer alive instead of allocating per message.
+func (c Code) EncodeInto(buf []byte) []byte {
+	return c.Append(buf[:0])
 }
 
 // Decode reads one code from the front of buf, returning the code and the

@@ -357,6 +357,48 @@ func TestChildDoesNotAliasParentStorage(t *testing.T) {
 	}
 }
 
+func TestAppendChild(t *testing.T) {
+	// AppendChild is the scratch-buffer variant: same result as Child, but it
+	// extends the receiver in place when capacity allows.
+	scratch := make(Code, 0, 8)
+	scratch = scratch.AppendChild(1, 0).AppendChild(2, 1)
+	if !scratch.Equal(mk(1, 0, 2, 1)) {
+		t.Fatalf("AppendChild chain = %v", scratch)
+	}
+	if scratch[1].Branch != 1 {
+		t.Error("branch not recorded")
+	}
+	// Branch is masked to one bit, like Child.
+	if c := Root().AppendChild(5, 0xff); c[0].Branch != 1 {
+		t.Errorf("branch not masked: %v", c)
+	}
+	// Truncate-and-reuse must overwrite the old tail, the pattern the table
+	// walks rely on.
+	scratch = scratch[:1].AppendChild(7, 0)
+	if !scratch.Equal(mk(1, 0, 7, 0)) {
+		t.Errorf("reused scratch = %v", scratch)
+	}
+}
+
+func TestEncodeInto(t *testing.T) {
+	c := mk(1, 0, 2, 1, 5, 0)
+	buf := make([]byte, 0, 64)
+	buf = c.EncodeInto(buf)
+	if string(buf) != string(c.Append(nil)) {
+		t.Fatalf("EncodeInto = % x, Append = % x", buf, c.Append(nil))
+	}
+	// Reuse overwrites, never appends.
+	d := mk(9, 1)
+	buf = d.EncodeInto(buf)
+	if string(buf) != string(d.Append(nil)) {
+		t.Fatalf("reused EncodeInto = % x", buf)
+	}
+	got, n, err := Decode(buf)
+	if err != nil || n != len(buf) || !got.Equal(d) {
+		t.Fatalf("round trip: %v %d %v", got, n, err)
+	}
+}
+
 func BenchmarkAppend(b *testing.B) {
 	c := mk(1, 0, 2, 1, 5, 0, 9, 1, 12, 0, 31, 1)
 	buf := make([]byte, 0, 64)

@@ -1,0 +1,97 @@
+package ctree
+
+// Allocation regression guards for the table hot path (ISSUE 3): the
+// O(depth) insert with a warm free list is allocation-free, and the cached
+// derived views (Codes, WireSize, Len) are allocation-free between
+// mutations. These bounds are what keeps the hot-path wins from silently
+// eroding; if a change legitimately needs to allocate here, it has to argue
+// with this file first.
+
+import (
+	"testing"
+
+	"gossipbnb/internal/code"
+)
+
+// counterLeaves returns the leaves of a complete binary tree of the given
+// depth in binary-counter order (level d branches on variable d+1).
+func counterLeaves(depth int) []code.Code {
+	n := 1 << depth
+	out := make([]code.Code, 0, n)
+	for i := 0; i < n; i++ {
+		c := code.Root()
+		for d := 0; d < depth; d++ {
+			c = c.Child(uint32(d+1), uint8(i>>(depth-1-d))&1)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestInsertSteadyStateAllocs: once the free list is warm, a full
+// insert-everything-and-reset cycle — every trie vertex popped off the free
+// list, every contraction, every prune — performs zero heap allocations.
+func TestInsertSteadyStateAllocs(t *testing.T) {
+	leaves := counterLeaves(10)
+	tb := New()
+	for _, c := range leaves { // warm: grows scratch + populates the free list
+		if _, err := tb.Insert(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tb.Complete() {
+		t.Fatal("warm-up did not contract to the root")
+	}
+	tb.Reset()
+	avg := testing.AllocsPerRun(20, func() {
+		for _, c := range leaves {
+			tb.Insert(c)
+		}
+		tb.Reset()
+	})
+	if avg > 0 {
+		t.Errorf("steady-state Insert cycle allocates: %.1f allocs per %d inserts, want 0",
+			avg, len(leaves))
+	}
+}
+
+// TestCachedViewAllocs: Codes, WireSize, and Len on an unchanged table hit
+// the caches and allocate nothing — this is what lets FlushReport, SendTable,
+// and the simulator's storage sampling stop re-deriving the same frontier.
+func TestCachedViewAllocs(t *testing.T) {
+	tb := New()
+	for i, c := range counterLeaves(8) {
+		if i%3 != 0 { // partial completion: a non-trivial frontier
+			tb.Insert(c)
+		}
+	}
+	tb.Codes() // derive once
+	avg := testing.AllocsPerRun(100, func() {
+		if len(tb.Codes()) == 0 || tb.WireSize() == 0 || tb.Len() == 0 {
+			t.Fatal("table unexpectedly empty")
+		}
+	})
+	if avg > 0 {
+		t.Errorf("cached Codes/WireSize/Len allocate: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestInsertAllSteadyStateAllocs: the prefix-sharing batch insert reuses the
+// sort scratch and path stack across batches; with a warm free list the only
+// allocations sort.Slice itself makes are its two closure words.
+func TestInsertAllSteadyStateAllocs(t *testing.T) {
+	leaves := counterLeaves(10)
+	tb := New()
+	tb.InsertAll(leaves)
+	tb.Reset()
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i+8 <= len(leaves); i += 8 {
+			tb.InsertAll(leaves[i : i+8])
+		}
+		tb.Reset()
+	})
+	perBatch := avg / float64(len(leaves)/8)
+	if perBatch > 3 {
+		t.Errorf("steady-state InsertAll allocates %.2f allocs per 8-code batch, want ≤ 3", perBatch)
+	}
+}

@@ -14,16 +14,28 @@
 // branches a given subproblem branches it on the same condition variable.
 // This holds for the paper's "basic tree"-driven execution, where the
 // decompose operator is recorded in the tree itself.
+//
+// The implementation is the protocol's hot path — every completion, report
+// flush, table gossip, and wire-size query goes through it — so it is tuned
+// to be O(depth) per insert and allocation-lean (DESIGN.md "Completion-table
+// hot path"): Insert keeps an explicit path stack so contraction walks
+// bottom-up without re-walking from the root per level; the walks share one
+// prefix scratch buffer; the contracted frontier and its wire size are cached
+// and invalidated on mutation; pruned trie vertices feed a free list that
+// later inserts pop instead of allocating. The reference implementation the
+// optimizations are property-tested against lives in reference_test.go.
 package ctree
 
 import (
 	"fmt"
+	"sort"
 
 	"gossipbnb/internal/code"
 )
 
 // node is one vertex of the completion trie. Its position in the trie is the
-// code of the corresponding B&B tree node.
+// code of the corresponding B&B tree node. Free-listed nodes are threaded
+// through children[0].
 type node struct {
 	branchVar uint32 // condition variable the children branch on
 	children  [2]*node
@@ -38,11 +50,69 @@ type node struct {
 type Table struct {
 	root      *node
 	nodeCount int // trie vertices, for storage accounting
+
+	// free is the head of the trie-node free list, threaded through
+	// children[0]. prune feeds it; newNode pops it.
+	free *node
+
+	// frontier caches Codes() output and wireSize caches WireSize(); both are
+	// invalidated (frontier dropped, never mutated in place — callers may
+	// still hold the old slice) by any mutation that changes the frontier.
+	frontier   []code.Code
+	frontierOK bool
+	wireSize   int
+	wireOK     bool
+
+	// Reused scratch space. path holds the root-to-leaf node stack of the
+	// last insert (path[i] = vertex at depth i); scratch is the shared walk
+	// prefix; frames and nstack are the iterative-walk stacks; sortBuf holds
+	// InsertAll's sorted view of its input.
+	path    []*node
+	scratch code.Code
+	frames  []walkFrame
+	nstack  []*node
+	sortBuf []code.Code
+}
+
+// walkFrame is one level of an iterative depth-first walk: the vertex and the
+// next branch to visit (0, 1, or 2 = exhausted).
+type walkFrame struct {
+	n *node
+	b int8
 }
 
 // New returns an empty table: nothing is known to be completed.
 func New() *Table {
 	return &Table{root: &node{}, nodeCount: 1}
+}
+
+// Reset empties the table in place, recycling every trie vertex through the
+// free list so the next inserts allocate nothing. The protocol core resets
+// its report outbox on every flush instead of allocating a fresh table.
+func (t *Table) Reset() {
+	t.prune(t.root)
+	*t.root = node{}
+	t.invalidate()
+}
+
+// invalidate drops the cached frontier and wire size after a mutation. The
+// old frontier slice is abandoned, not reused: callers of Codes may still
+// hold it (e.g. a report in flight).
+func (t *Table) invalidate() {
+	t.frontier = nil
+	t.frontierOK = false
+	t.wireOK = false
+}
+
+// newNode pops a recycled vertex off the free list, or allocates one.
+func (t *Table) newNode() *node {
+	n := t.free
+	if n == nil {
+		return &node{}
+	}
+	t.free = n.children[0]
+	*n = node{}
+	return n
 }
 
 // VarMismatchError reports an Insert whose code branches a subproblem on a
@@ -65,77 +135,93 @@ func (e *VarMismatchError) Error() string {
 // contracts. It returns true if the table changed (false when c was already
 // subsumed by a completed ancestor or an identical entry).
 func (t *Table) Insert(c code.Code) (bool, error) {
-	n := t.root
-	// Walk the path, creating trie vertices as needed.
-	for depth, d := range c {
+	ok, _, err := t.insertFrom(c, 0)
+	return ok, err
+}
+
+// insertFrom is Insert starting at depth from, reusing t.path[:from+1] — the
+// vertices a previous insertFrom walked for a code sharing this prefix. The
+// caller guarantees every reused vertex is live and incomplete (see
+// InsertAll). It returns the number of path entries that remain valid for the
+// next prefix-sharing insert: vertices at depths < valid are live and
+// incomplete; the vertex at depth valid (if walked) may be complete.
+//
+// The single path stack is what makes contraction O(depth): the old
+// implementation re-walked from the root for every level it contracted,
+// paying O(depth²) per insert.
+func (t *Table) insertFrom(c code.Code, from int) (changed bool, valid int, err error) {
+	if from == 0 {
+		t.path = append(t.path[:0], t.root)
+	} else {
+		t.path = t.path[:from+1]
+	}
+	n := t.path[from]
+	for depth := from; depth < len(c); depth++ {
+		d := c[depth]
 		if n.complete {
-			return false, nil // an ancestor is complete: c is subsumed
+			return false, depth, nil // an ancestor is complete: c is subsumed
 		}
 		if !n.hasChild[0] && !n.hasChild[1] {
 			n.branchVar = d.Var
 		} else if n.branchVar != d.Var {
-			return false, &VarMismatchError{Code: c, Depth: depth, Want: n.branchVar, Got: d.Var}
+			return false, depth, &VarMismatchError{Code: c, Depth: depth, Want: n.branchVar, Got: d.Var}
 		}
 		b := d.Branch & 1
 		if !n.hasChild[b] {
-			n.children[b] = &node{}
+			n.children[b] = t.newNode()
 			n.hasChild[b] = true
 			t.nodeCount++
 		}
 		n = n.children[b]
+		t.path = append(t.path, n)
 	}
 	if n.complete {
-		return false, nil
+		return false, len(c), nil
 	}
 	n.complete = true
 	t.prune(n)
-	t.contract(c)
-	return true, nil
+	// Contract bottom-up along the recorded path, replacing complete sibling
+	// pairs with their parent. Vertices below the shallowest completed depth
+	// are recycled, so only path[:valid+1] survives for prefix reuse.
+	valid = len(c)
+	for i := len(c) - 1; i >= 0; i-- {
+		p := t.path[i]
+		if !p.hasChild[0] || !p.hasChild[1] ||
+			!p.children[0].complete || !p.children[1].complete {
+			break // cannot contract further
+		}
+		p.complete = true
+		t.prune(p)
+		valid = i
+	}
+	t.invalidate()
+	return true, valid, nil
 }
 
-// prune discards the subtree below a node that just became complete; its
-// descendants carry no extra information.
+// prune recycles the subtrees below a node that just became complete; its
+// descendants carry no extra information. The walk is iterative and feeds the
+// free list, so a prune is allocation-free and later inserts reuse the
+// vertices.
 func (t *Table) prune(n *node) {
+	t.nstack = t.nstack[:0]
 	for b := 0; b < 2; b++ {
 		if n.hasChild[b] {
-			t.nodeCount -= count(n.children[b])
+			t.nstack = append(t.nstack, n.children[b])
 			n.children[b] = nil
 			n.hasChild[b] = false
 		}
 	}
-}
-
-func count(n *node) int {
-	c := 1
-	for b := 0; b < 2; b++ {
-		if n.hasChild[b] {
-			c += count(n.children[b])
-		}
-	}
-	return c
-}
-
-// contract walks the path of c bottom-up, replacing complete sibling pairs
-// with their parent.
-func (t *Table) contract(c code.Code) {
-	for depth := len(c); depth > 0; depth-- {
-		// Re-walk from the root to the node at depth-1 (the parent).
-		p := t.root
-		for i := 0; i < depth-1; i++ {
-			p = p.children[c[i].Branch&1]
-			if p == nil {
-				return // path was pruned by a completed ancestor
+	for len(t.nstack) > 0 {
+		v := t.nstack[len(t.nstack)-1]
+		t.nstack = t.nstack[:len(t.nstack)-1]
+		for b := 0; b < 2; b++ {
+			if v.hasChild[b] {
+				t.nstack = append(t.nstack, v.children[b])
 			}
 		}
-		if p.complete {
-			return
-		}
-		if !p.hasChild[0] || !p.hasChild[1] ||
-			!p.children[0].complete || !p.children[1].complete {
-			return // cannot contract further
-		}
-		p.complete = true
-		t.prune(p)
+		t.nodeCount--
+		*v = node{children: [2]*node{t.free, nil}}
+		t.free = v
 	}
 }
 
@@ -163,21 +249,50 @@ func (t *Table) Contains(c code.Code) bool {
 // completion implies everything the table knows. This is exactly what a
 // process sends when it gossips its whole table. Order is deterministic
 // (depth-first, branch 0 before branch 1).
+//
+// The result is cached until the next mutation; callers must treat both the
+// slice and its codes as immutable. A mutation abandons the cache rather than
+// reusing it, so a previously returned slice (say, a report in flight) is
+// never scribbled over.
 func (t *Table) Codes() []code.Code {
-	var out []code.Code
-	var walk func(n *node, prefix code.Code)
-	walk = func(n *node, prefix code.Code) {
-		if n.complete {
-			out = append(out, prefix.Clone())
-			return
+	if !t.frontierOK {
+		t.frontier = t.appendFrontier(nil)
+		t.frontierOK = true
+	}
+	return t.frontier
+}
+
+// appendFrontier appends the frontier codes to out with one iterative
+// depth-first walk over a shared prefix scratch: the only allocations are the
+// returned codes themselves, one per frontier entry, instead of one clone per
+// trie edge as the recursive prefix.Child walk paid.
+func (t *Table) appendFrontier(out []code.Code) []code.Code {
+	t.scratch = t.scratch[:0]
+	t.frames = append(t.frames[:0], walkFrame{n: t.root})
+	for len(t.frames) > 0 {
+		f := &t.frames[len(t.frames)-1]
+		if f.b == 0 && f.n.complete {
+			out = append(out, t.scratch.Clone())
+			f.b = 2
 		}
-		for b := uint8(0); b < 2; b++ {
-			if n.hasChild[b] {
-				walk(n.children[b], prefix.Child(n.branchVar, b))
+		descended := false
+		for f.b < 2 {
+			b := f.b
+			f.b++ // advance before the push below: append may move the frame
+			if f.n.hasChild[b] {
+				t.scratch = t.scratch.AppendChild(f.n.branchVar, uint8(b))
+				t.frames = append(t.frames, walkFrame{n: f.n.children[b]})
+				descended = true
+				break
+			}
+		}
+		if !descended {
+			t.frames = t.frames[:len(t.frames)-1]
+			if len(t.scratch) > 0 {
+				t.scratch = t.scratch[:len(t.scratch)-1]
 			}
 		}
 	}
-	walk(t.root, code.Root())
 	return out
 }
 
@@ -189,36 +304,46 @@ func (t *Table) Codes() []code.Code {
 // everything must be (re)done.
 func (t *Table) Complement(max int) []code.Code {
 	var out []code.Code
-	var walk func(n *node, prefix code.Code) bool // returns false when max hit
-	walk = func(n *node, prefix code.Code) bool {
-		if n.complete {
-			return true
-		}
-		if !n.hasChild[0] && !n.hasChild[1] {
-			// Nothing below this node has been reported: the whole
-			// subproblem is (as far as we know) outstanding.
-			out = append(out, prefix.Clone())
-			return max <= 0 || len(out) < max
-		}
-		for b := uint8(0); b < 2; b++ {
-			child := prefix.Child(n.branchVar, b)
-			if n.hasChild[b] {
-				if !walk(n.children[b], child) {
-					return false
-				}
-			} else {
-				// The sibling branch was reported but this branch never
-				// was: complement it (the paper's "complementing the code
-				// of a solved problem whose sibling is not solved").
-				out = append(out, child)
+	t.scratch = t.scratch[:0]
+	t.frames = append(t.frames[:0], walkFrame{n: t.root})
+	for len(t.frames) > 0 {
+		f := &t.frames[len(t.frames)-1]
+		if f.b == 0 {
+			if f.n.complete {
+				f.b = 2
+			} else if !f.n.hasChild[0] && !f.n.hasChild[1] {
+				// Nothing below this node has been reported: the whole
+				// subproblem is (as far as we know) outstanding.
+				out = append(out, t.scratch.Clone())
 				if max > 0 && len(out) >= max {
-					return false
+					return out
 				}
+				f.b = 2
 			}
 		}
-		return true
+		if f.b < 2 {
+			b := uint8(f.b)
+			f.b++
+			t.scratch = t.scratch.AppendChild(f.n.branchVar, b)
+			if f.n.hasChild[b] {
+				t.frames = append(t.frames, walkFrame{n: f.n.children[b]})
+				continue
+			}
+			// The sibling branch was reported but this branch never was:
+			// complement it (the paper's "complementing the code of a solved
+			// problem whose sibling is not solved").
+			out = append(out, t.scratch.Clone())
+			t.scratch = t.scratch[:len(t.scratch)-1]
+			if max > 0 && len(out) >= max {
+				return out
+			}
+			continue
+		}
+		t.frames = t.frames[:len(t.frames)-1]
+		if len(t.scratch) > 0 {
+			t.scratch = t.scratch[:len(t.scratch)-1]
+		}
 	}
-	walk(t.root, code.Root())
 	return out
 }
 
@@ -229,10 +354,36 @@ func (t *Table) Merge(other *Table) (changed int, errs int) {
 }
 
 // InsertAll inserts each code, returning how many changed the table and how
-// many failed validation.
+// many failed validation. Batches are sorted into prefix order (into a
+// scratch copy — cs itself, often a cached frontier or an in-flight message
+// payload, is never reordered) so consecutive codes reuse the common-ancestor
+// portion of the path walk, and so ancestors land before the descendants they
+// subsume. The changed count of a batch with internal subsumption can
+// therefore differ from inserting in the caller's order, but whether it is
+// zero — the only protocol-visible property — cannot: changed == 0 exactly
+// when every code was already subsumed by the initial table.
 func (t *Table) InsertAll(cs []code.Code) (changed int, errs int) {
-	for _, c := range cs {
-		ok, err := t.Insert(c)
+	if len(cs) == 1 { // overwhelmingly the common case for work reports
+		ok, err := t.Insert(cs[0])
+		if err != nil {
+			return 0, 1
+		}
+		if ok {
+			return 1, 0
+		}
+		return 0, 0
+	}
+	t.sortBuf = append(t.sortBuf[:0], cs...)
+	sort.Slice(t.sortBuf, func(i, j int) bool { return prefixLess(t.sortBuf[i], t.sortBuf[j]) })
+	var prev code.Code
+	valid := 0
+	for _, c := range t.sortBuf {
+		from := commonPrefixLen(prev, c)
+		if from > valid {
+			from = valid
+		}
+		ok, v, err := t.insertFrom(c, from)
+		prev, valid = c, v
 		if err != nil {
 			errs++
 			continue
@@ -244,22 +395,59 @@ func (t *Table) InsertAll(cs []code.Code) (changed int, errs int) {
 	return changed, errs
 }
 
+// prefixLess orders codes so that codes sharing a prefix are adjacent and
+// every ancestor precedes its descendants: decision-wise, ties to the
+// shorter code.
+func prefixLess(a, b code.Code) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i].Var != b[i].Var {
+				return a[i].Var < b[i].Var
+			}
+			return a[i].Branch < b[i].Branch
+		}
+	}
+	return len(a) < len(b)
+}
+
+// commonPrefixLen returns the length of the longest common decision prefix.
+func commonPrefixLen(a, b code.Code) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
 // Len returns the number of frontier codes (complete trie vertices).
 func (t *Table) Len() int {
+	if t.frontierOK {
+		return len(t.frontier)
+	}
 	n := 0
-	var walk func(*node)
-	walk = func(v *node) {
+	t.nstack = append(t.nstack[:0], t.root)
+	for len(t.nstack) > 0 {
+		v := t.nstack[len(t.nstack)-1]
+		t.nstack = t.nstack[:len(t.nstack)-1]
 		if v.complete {
 			n++
-			return
+			continue
 		}
 		for b := 0; b < 2; b++ {
 			if v.hasChild[b] {
-				walk(v.children[b])
+				t.nstack = append(t.nstack, v.children[b])
 			}
 		}
 	}
-	walk(t.root)
 	return n
 }
 
@@ -267,15 +455,18 @@ func (t *Table) Len() int {
 func (t *Table) NodeCount() int { return t.nodeCount }
 
 // WireSize returns the number of bytes Encode produces: the simulator charges
-// this against the communication model when a table is gossiped.
+// this against the communication model when a table is gossiped. Like the
+// frontier it derives from, the size is cached until the next mutation.
 func (t *Table) WireSize() int {
-	sz := 1 // count varint; tables are small enough that 1 byte dominates
-	cs := t.Codes()
-	sz = uvarintLen(uint64(len(cs)))
-	for _, c := range cs {
-		sz += c.WireSize()
+	if !t.wireOK {
+		cs := t.Codes()
+		sz := uvarintLen(uint64(len(cs)))
+		for _, c := range cs {
+			sz += c.WireSize()
+		}
+		t.wireSize, t.wireOK = sz, true
 	}
-	return sz
+	return t.wireSize
 }
 
 // Encode appends the wire encoding of the table (its contracted frontier) to
@@ -284,11 +475,16 @@ func (t *Table) Encode(dst []byte) []byte {
 	return code.AppendAll(dst, t.Codes())
 }
 
-// Decode reconstructs a table from Encode output.
+// Decode reconstructs a table from Encode output. The whole buffer must be
+// one encoded table: trailing bytes after the declared code count are
+// rejected, so a corrupt or truncated-then-padded frame cannot half-decode.
 func Decode(buf []byte) (*Table, error) {
-	cs, _, err := code.DecodeAll(buf)
+	cs, n, err := code.DecodeAll(buf)
 	if err != nil {
 		return nil, err
+	}
+	if n != len(buf) {
+		return nil, fmt.Errorf("ctree: decode: %d trailing bytes", len(buf)-n)
 	}
 	t := New()
 	if _, errs := t.InsertAll(cs); errs > 0 {
@@ -297,7 +493,8 @@ func Decode(buf []byte) (*Table, error) {
 	return t, nil
 }
 
-// Clone returns a deep copy of the table.
+// Clone returns a deep copy of the table. Caches and scratch space are not
+// copied; the clone derives its own on demand.
 func (t *Table) Clone() *Table {
 	c := New()
 	c.root = cloneNode(t.root)

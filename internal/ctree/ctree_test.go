@@ -197,6 +197,55 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	tb := New()
+	tb.Insert(mk(1, 0, 2, 1, 5, 0))
+	tb.Insert(mk(1, 1, 3, 0))
+	buf := tb.Encode(nil)
+	// The exact encoding round-trips…
+	if _, err := Decode(buf); err != nil {
+		t.Fatalf("clean round trip failed: %v", err)
+	}
+	// …but any suffix after the declared code count is rejected, whatever it
+	// holds — a second table, zeros, or garbage.
+	for _, tail := range [][]byte{{0}, {0xff}, tb.Encode(nil), {1, 2, 3, 4}} {
+		if _, err := Decode(append(append([]byte(nil), buf...), tail...)); err == nil {
+			t.Errorf("Decode accepted %d trailing bytes % x", len(tail), tail)
+		}
+	}
+	// An empty table's encoding also round-trips exactly.
+	empty := New().Encode(nil)
+	if got, err := Decode(empty); err != nil || got.Len() != 0 {
+		t.Errorf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tb := New()
+	tb.Insert(mk(1, 0, 2, 1))
+	tb.Insert(mk(1, 1))
+	tb.Reset()
+	if tb.Len() != 0 || tb.Complete() || tb.NodeCount() != 1 {
+		t.Fatalf("after Reset: Len=%d Complete=%v NodeCount=%d", tb.Len(), tb.Complete(), tb.NodeCount())
+	}
+	comp := tb.Complement(0)
+	if len(comp) != 1 || !comp[0].IsRoot() {
+		t.Errorf("Complement after Reset = %v, want [()]", comp)
+	}
+	// The table is fully usable again, and codes handed out before the reset
+	// survive it untouched.
+	tb.Insert(mk(1, 0))
+	before := tb.Codes()
+	tb.Reset()
+	tb.Insert(mk(1, 1))
+	if len(before) != 1 || !before[0].Equal(mk(1, 0)) {
+		t.Errorf("codes from before Reset were clobbered: %v", before)
+	}
+	if cs := tb.Codes(); len(cs) != 1 || !cs[0].Equal(mk(1, 1)) {
+		t.Errorf("Codes after Reset+Insert = %v", cs)
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a, b := New(), New()
 	a.Insert(mk(1, 0, 2, 0))

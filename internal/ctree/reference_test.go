@@ -1,0 +1,382 @@
+package ctree
+
+// The pre-optimization completion table, kept verbatim as a test-only
+// reference: recursive clone-per-node walks, per-level contraction re-walks
+// from the root, no caches, no free list. TestPropTableMatchesReference
+// drives it and the optimized Table through identical randomized
+// insert/merge/complement/termination sequences and requires observably
+// identical behavior, so the O(depth) hot path cannot drift from the
+// mechanism the paper specifies.
+
+import (
+	"math/rand"
+	"testing"
+
+	"gossipbnb/internal/code"
+)
+
+type refNode struct {
+	branchVar uint32
+	children  [2]*refNode
+	hasChild  [2]bool
+	complete  bool
+}
+
+type refTable struct {
+	root      *refNode
+	nodeCount int
+}
+
+func newRef() *refTable { return &refTable{root: &refNode{}, nodeCount: 1} }
+
+func (t *refTable) Insert(c code.Code) (bool, error) {
+	n := t.root
+	for depth, d := range c {
+		if n.complete {
+			return false, nil
+		}
+		if !n.hasChild[0] && !n.hasChild[1] {
+			n.branchVar = d.Var
+		} else if n.branchVar != d.Var {
+			return false, &VarMismatchError{Code: c, Depth: depth, Want: n.branchVar, Got: d.Var}
+		}
+		b := d.Branch & 1
+		if !n.hasChild[b] {
+			n.children[b] = &refNode{}
+			n.hasChild[b] = true
+			t.nodeCount++
+		}
+		n = n.children[b]
+	}
+	if n.complete {
+		return false, nil
+	}
+	n.complete = true
+	t.prune(n)
+	t.contract(c)
+	return true, nil
+}
+
+func (t *refTable) prune(n *refNode) {
+	for b := 0; b < 2; b++ {
+		if n.hasChild[b] {
+			t.nodeCount -= refCount(n.children[b])
+			n.children[b] = nil
+			n.hasChild[b] = false
+		}
+	}
+}
+
+func refCount(n *refNode) int {
+	c := 1
+	for b := 0; b < 2; b++ {
+		if n.hasChild[b] {
+			c += refCount(n.children[b])
+		}
+	}
+	return c
+}
+
+func (t *refTable) contract(c code.Code) {
+	for depth := len(c); depth > 0; depth-- {
+		p := t.root
+		for i := 0; i < depth-1; i++ {
+			p = p.children[c[i].Branch&1]
+			if p == nil {
+				return
+			}
+		}
+		if p.complete {
+			return
+		}
+		if !p.hasChild[0] || !p.hasChild[1] ||
+			!p.children[0].complete || !p.children[1].complete {
+			return
+		}
+		p.complete = true
+		t.prune(p)
+	}
+}
+
+func (t *refTable) Complete() bool { return t.root.complete }
+
+func (t *refTable) Contains(c code.Code) bool {
+	n := t.root
+	for _, d := range c {
+		if n.complete {
+			return true
+		}
+		if !n.hasChild[d.Branch&1] || n.branchVar != d.Var {
+			return false
+		}
+		n = n.children[d.Branch&1]
+	}
+	return n.complete
+}
+
+func (t *refTable) Codes() []code.Code {
+	var out []code.Code
+	var walk func(n *refNode, prefix code.Code)
+	walk = func(n *refNode, prefix code.Code) {
+		if n.complete {
+			out = append(out, prefix.Clone())
+			return
+		}
+		for b := uint8(0); b < 2; b++ {
+			if n.hasChild[b] {
+				walk(n.children[b], prefix.Child(n.branchVar, b))
+			}
+		}
+	}
+	walk(t.root, code.Root())
+	return out
+}
+
+func (t *refTable) Complement(max int) []code.Code {
+	var out []code.Code
+	var walk func(n *refNode, prefix code.Code) bool
+	walk = func(n *refNode, prefix code.Code) bool {
+		if n.complete {
+			return true
+		}
+		if !n.hasChild[0] && !n.hasChild[1] {
+			out = append(out, prefix.Clone())
+			return max <= 0 || len(out) < max
+		}
+		for b := uint8(0); b < 2; b++ {
+			child := prefix.Child(n.branchVar, b)
+			if n.hasChild[b] {
+				if !walk(n.children[b], child) {
+					return false
+				}
+			} else {
+				out = append(out, child)
+				if max > 0 && len(out) >= max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	walk(t.root, code.Root())
+	return out
+}
+
+func (t *refTable) InsertAll(cs []code.Code) (changed, errs int) {
+	for _, c := range cs {
+		ok, err := t.Insert(c)
+		if err != nil {
+			errs++
+			continue
+		}
+		if ok {
+			changed++
+		}
+	}
+	return changed, errs
+}
+
+func (t *refTable) Len() int {
+	n := 0
+	var walk func(*refNode)
+	walk = func(v *refNode) {
+		if v.complete {
+			n++
+			return
+		}
+		for b := 0; b < 2; b++ {
+			if v.hasChild[b] {
+				walk(v.children[b])
+			}
+		}
+	}
+	walk(t.root)
+	return n
+}
+
+func (t *refTable) WireSize() int {
+	cs := t.Codes()
+	sz := uvarintLen(uint64(len(cs)))
+	for _, c := range cs {
+		sz += c.WireSize()
+	}
+	return sz
+}
+
+func (t *refTable) Encode(dst []byte) []byte {
+	return code.AppendAll(dst, t.Codes())
+}
+
+// --- equivalence property -----------------------------------------------------
+
+func codesExactlyEqual(a, b []code.Code) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstRef compares every observable of the optimized table against
+// the reference, including output order (both walk depth-first, branch 0
+// first).
+func checkAgainstRef(t *testing.T, opt *Table, ref *refTable, probes []code.Code) {
+	t.Helper()
+	if opt.Complete() != ref.Complete() {
+		t.Fatalf("Complete: opt %v, ref %v", opt.Complete(), ref.Complete())
+	}
+	if opt.Len() != ref.Len() {
+		t.Fatalf("Len: opt %d, ref %d", opt.Len(), ref.Len())
+	}
+	if opt.NodeCount() != ref.nodeCount {
+		t.Fatalf("NodeCount: opt %d, ref %d", opt.NodeCount(), ref.nodeCount)
+	}
+	if opt.WireSize() != ref.WireSize() {
+		t.Fatalf("WireSize: opt %d, ref %d", opt.WireSize(), ref.WireSize())
+	}
+	if oc, rc := opt.Codes(), ref.Codes(); !codesExactlyEqual(oc, rc) {
+		t.Fatalf("Codes: opt %v, ref %v", oc, rc)
+	}
+	if ob, rb := opt.Encode(nil), ref.Encode(nil); string(ob) != string(rb) {
+		t.Fatalf("Encode: opt %x, ref %x", ob, rb)
+	}
+	for _, max := range []int{0, 1, 3, 8} {
+		if oc, rc := opt.Complement(max), ref.Complement(max); !codesExactlyEqual(oc, rc) {
+			t.Fatalf("Complement(%d): opt %v, ref %v", max, oc, rc)
+		}
+	}
+	for _, p := range probes {
+		if opt.Contains(p) != ref.Contains(p) {
+			t.Fatalf("Contains(%v): opt %v, ref %v", p, opt.Contains(p), ref.Contains(p))
+		}
+	}
+}
+
+// TestPropTableMatchesReference drives randomized operation sequences —
+// single inserts, sorted-batch InsertAll, merges from a second table pair,
+// corrupt (var-mismatch) codes, resets, and full-termination endgames —
+// through the optimized table and the reference, comparing every observable
+// after each step.
+func TestPropTableMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		leaves := randTree(r, 9)
+		// Probe codes: the leaves plus some of their prefixes.
+		probes := append([]code.Code(nil), leaves...)
+		for _, l := range leaves {
+			if len(l) > 1 {
+				probes = append(probes, l[:r.Intn(len(l))].Clone())
+			}
+		}
+		opt, ref := New(), newRef()
+		opt2, ref2 := New(), newRef() // merge source pair
+		for step := 0; step < 40; step++ {
+			switch r.Intn(6) {
+			case 0: // single insert
+				c := leaves[r.Intn(len(leaves))]
+				ok1, err1 := opt.Insert(c)
+				ok2, err2 := ref.Insert(c)
+				if ok1 != ok2 || (err1 == nil) != (err2 == nil) {
+					t.Fatalf("seed %d step %d: Insert(%v): opt (%v,%v), ref (%v,%v)",
+						seed, step, c, ok1, err1, ok2, err2)
+				}
+			case 1: // batch insert; changed counts may legitimately differ in
+				// value (sorted vs caller order), but not in zeroness
+				k := 1 + r.Intn(6)
+				batch := make([]code.Code, 0, k)
+				for i := 0; i < k; i++ {
+					batch = append(batch, leaves[r.Intn(len(leaves))])
+				}
+				ch1, errs1 := opt.InsertAll(batch)
+				ch2, errs2 := ref.InsertAll(batch)
+				if (ch1 == 0) != (ch2 == 0) || errs1 != errs2 {
+					t.Fatalf("seed %d step %d: InsertAll: opt (%d,%d), ref (%d,%d)",
+						seed, step, ch1, errs1, ch2, errs2)
+				}
+			case 2: // grow the merge source, then merge it in
+				for i := 0; i < 3; i++ {
+					c := leaves[r.Intn(len(leaves))]
+					opt2.Insert(c)
+					ref2.Insert(c)
+				}
+				ch1, _ := opt.Merge(opt2)
+				ch2, _ := ref.InsertAll(ref2.Codes())
+				if (ch1 == 0) != (ch2 == 0) {
+					t.Fatalf("seed %d step %d: Merge changed: opt %d, ref %d", seed, step, ch1, ch2)
+				}
+			case 3: // corrupt code: flip a branch variable mid-path
+				c := leaves[r.Intn(len(leaves))].Clone()
+				if len(c) > 0 {
+					c[r.Intn(len(c))].Var += 1000
+				}
+				_, err1 := opt.Insert(c)
+				_, err2 := ref.Insert(c)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("seed %d step %d: corrupt Insert: opt err %v, ref err %v",
+						seed, step, err1, err2)
+				}
+			case 4: // completion endgame: insert every leaf. The tables reach
+				// the root unless an earlier corrupt code poisoned a branch
+				// variable — in which case both must be equally stuck, which
+				// checkAgainstRef verifies.
+				for _, c := range leaves {
+					ok1, err1 := opt.Insert(c)
+					ok2, err2 := ref.Insert(c)
+					if ok1 != ok2 || (err1 == nil) != (err2 == nil) {
+						t.Fatalf("seed %d step %d: endgame Insert(%v): opt (%v,%v), ref (%v,%v)",
+							seed, step, c, ok1, err1, ok2, err2)
+					}
+				}
+				if opt.Complete() != ref.Complete() {
+					t.Fatalf("seed %d step %d: endgame Complete: opt %v, ref %v",
+						seed, step, opt.Complete(), ref.Complete())
+				}
+			case 5: // recycle the optimized table; rebuild the reference to match
+				opt.Reset()
+				ref = newRef()
+			}
+			checkAgainstRef(t, opt, ref, probes)
+		}
+	}
+}
+
+// TestPropInsertAllMatchesSequential checks the prefix-sharing batch insert
+// against one-at-a-time insertion of the same batch into a sibling table:
+// identical final state, and a changed count that is zero for exactly the
+// same batches.
+func TestPropInsertAllMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		leaves := randTree(r, 8)
+		batchT, seqT := New(), New()
+		for round := 0; round < 10; round++ {
+			k := 1 + r.Intn(8)
+			batch := make([]code.Code, 0, k)
+			for i := 0; i < k; i++ {
+				batch = append(batch, leaves[r.Intn(len(leaves))])
+			}
+			ch1, errs1 := batchT.InsertAll(batch)
+			ch2, errs2 := 0, 0
+			for _, c := range batch {
+				ok, err := seqT.Insert(c)
+				if err != nil {
+					errs2++
+				} else if ok {
+					ch2++
+				}
+			}
+			if (ch1 == 0) != (ch2 == 0) || errs1 != errs2 {
+				t.Fatalf("seed %d round %d: batch (%d,%d) vs sequential (%d,%d)",
+					seed, round, ch1, errs1, ch2, errs2)
+			}
+			if !codesExactlyEqual(batchT.Codes(), seqT.Codes()) {
+				t.Fatalf("seed %d round %d: batch state %v, sequential state %v",
+					seed, round, batchT.Codes(), seqT.Codes())
+			}
+		}
+	}
+}

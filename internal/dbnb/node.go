@@ -38,6 +38,12 @@ type node struct {
 	tableOps  int     // sampling counter for storage observation
 	idleStart float64 // <0 when not idle
 	met       *metrics.Node
+
+	// peersCache is the static membership view (every process but this one),
+	// built once: without the membership protocol the view never changes, and
+	// rebuilding it on every core decision is O(procs) — ruinous at the
+	// 1000-process stress tier.
+	peersCache []protocol.NodeID
 }
 
 // nodeSender transmits the core's canonical messages over the simulated
@@ -88,8 +94,21 @@ func newNode(id sim.NodeID, h *harness) *node {
 	return n
 }
 
-// peerView adapts the harness's membership view to protocol identifiers.
+// peerView adapts the harness's membership view to protocol identifiers. The
+// core reads the returned slice without retaining or mutating it, so the
+// static (no-membership) view is cached.
 func (n *node) peerView() []protocol.NodeID {
+	if !n.h.cfg.UseMembership {
+		if n.peersCache == nil {
+			n.peersCache = make([]protocol.NodeID, 0, len(n.h.nodes)-1)
+			for i := range n.h.nodes {
+				if sim.NodeID(i) != n.id {
+					n.peersCache = append(n.peersCache, protocol.NodeID(i))
+				}
+			}
+		}
+		return n.peersCache
+	}
 	peers := n.h.view(n.id)
 	out := make([]protocol.NodeID, len(peers))
 	for i, p := range peers {

@@ -1,7 +1,7 @@
 package dbnb
 
 import (
-	"hash/fnv"
+	"encoding/binary"
 	"math"
 
 	"gossipbnb/internal/bnb"
@@ -75,6 +75,7 @@ type harness struct {
 	union    *ctree.Table // ground truth of all completions, for storage accounting
 	unionOps int
 	expanded map[string]bool // tree nodes expanded at least once
+	keyBuf   []byte          // scratch for expansion-map keys
 	// completions counts complete() events across processes (a subproblem
 	// completed by k processes counts k times).
 	completions int
@@ -101,14 +102,16 @@ func (h *harness) view(self sim.NodeID) []sim.NodeID {
 }
 
 // noteExpansion tracks redundant work: expansions of tree nodes some process
-// already expanded.
+// already expanded. The key is encoded into a reused scratch buffer; the
+// compiler elides the string conversion on lookup, so only first-time
+// expansions allocate (their map key).
 func (h *harness) noteExpansion(n *node, c code.Code) {
-	key := c.Key()
-	if h.expanded[key] {
+	h.keyBuf = c.EncodeInto(h.keyBuf)
+	if h.expanded[string(h.keyBuf)] {
 		n.met.Redundant++
 		return
 	}
-	h.expanded[key] = true
+	h.expanded[string(h.keyBuf)] = true
 }
 
 // noteCompletion maintains the global union of completion information; its
@@ -177,11 +180,29 @@ func RunProblemRef(p bnb.Problem, ref bnb.Result, cfg Config) Result {
 
 // costJitter maps a code to a deterministic factor in [0.5, 1.5), giving
 // code-driven runs irregular per-node costs without a randomness source
-// that would break (problem, seed, config) determinism.
+// that would break (problem, seed, config) determinism. It streams FNV-1a
+// over the code's wire encoding without materializing it — this runs once
+// per expansion, and the c.Key() allocation it replaces was a measurable
+// slice of the code-driven hot path. The byte stream (and therefore every
+// simulated cost) is identical to hashing c.Key().
 func costJitter(c code.Code) float64 {
-	h := fnv.New32a()
-	h.Write([]byte(c.Key()))
-	return 0.5 + float64(h.Sum32()%1024)/1024
+	const (
+		fnvOffset = 2166136261
+		fnvPrime  = 16777619
+	)
+	var buf [binary.MaxVarintLen64]byte
+	h := uint32(fnvOffset)
+	n := binary.PutUvarint(buf[:], uint64(len(c)))
+	for _, b := range buf[:n] {
+		h = (h ^ uint32(b)) * fnvPrime
+	}
+	for _, d := range c {
+		n = binary.PutUvarint(buf[:], uint64(d.Var)<<1|uint64(d.Branch))
+		for _, b := range buf[:n] {
+			h = (h ^ uint32(b)) * fnvPrime
+		}
+	}
+	return 0.5 + float64(h%1024)/1024
 }
 
 func run(cfg Config, w workload) Result {

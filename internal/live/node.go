@@ -88,6 +88,12 @@ type liveNode struct {
 	done    atomic.Bool
 
 	lastProbe time.Time // paces starvation probes RetryDelay apart
+
+	// peersCache is the predetermined resource pool (every other process),
+	// built once at construction: the view is static, the core reads it
+	// without retaining or mutating it, and rebuilding it on every protocol
+	// decision allocated O(nodes) per decision.
+	peersCache []protocol.NodeID
 }
 
 // Cluster wires live nodes over a shared transport. It solves either a
@@ -177,6 +183,12 @@ func newCluster(cfg Config, newExp func() protocol.Expander, sleepOf func(it pro
 	for i := 0; i < cfg.Nodes; i++ {
 		id := NodeID(i)
 		n := &liveNode{id: id, cl: cl, inbox: cl.tr.Register(id), exp: newExp()}
+		n.peersCache = make([]protocol.NodeID, 0, cfg.Nodes-1)
+		for j := 0; j < cfg.Nodes; j++ {
+			if j != i {
+				n.peersCache = append(n.peersCache, protocol.NodeID(j))
+			}
+		}
 		n.core = protocol.New(protocol.NodeID(id), protocol.Config{
 			Select:           cfg.Select,
 			Prune:            cfg.Prune,
@@ -293,13 +305,7 @@ loop:
 // paper's experiments, crashed members included — failures only manifest as
 // unanswered requests).
 func (n *liveNode) peers() []protocol.NodeID {
-	out := make([]protocol.NodeID, 0, len(n.cl.nodes)-1)
-	for i := range n.cl.nodes {
-		if NodeID(i) != n.id {
-			out = append(out, protocol.NodeID(i))
-		}
-	}
-	return out
+	return n.peersCache
 }
 
 // run is the node goroutine: alternate work and message handling, exactly

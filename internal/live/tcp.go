@@ -29,8 +29,9 @@ type TCPNetwork struct {
 }
 
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	mu  sync.Mutex
+	c   net.Conn
+	buf []byte // frame scratch, reused under mu so sends stop allocating
 }
 
 // NewTCPNetwork creates listeners for node IDs 0..n-1 on 127.0.0.1 and
@@ -157,8 +158,11 @@ func (t *TCPNetwork) acceptLoop(id NodeID, ln net.Listener) {
 func (t *TCPNetwork) readLoop(to NodeID, conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
+	var scratch []byte
 	for {
-		env, err := readFrame(conn)
+		var env Envelope
+		var err error
+		env, scratch, err = readFrameInto(conn, scratch)
 		if err != nil {
 			return
 		}
@@ -217,14 +221,18 @@ func (t *TCPNetwork) Send(from, to NodeID, msg Message) {
 		}
 	}
 
-	frame, err := appendFrame(nil, from, msg)
+	c.mu.Lock()
+	frame, err := appendFrame(c.buf[:0], from, msg)
+	c.buf = frame
+	var werr error
+	if err == nil {
+		_, werr = c.c.Write(frame)
+	}
+	c.mu.Unlock()
 	if err != nil {
 		t.drop()
 		return
 	}
-	c.mu.Lock()
-	_, werr := c.c.Write(frame)
-	c.mu.Unlock()
 	if werr != nil {
 		t.drop()
 		t.mu.Lock()
@@ -256,45 +264,61 @@ func (t *TCPNetwork) drop() {
 // guards against corrupt length prefixes.
 const maxFrame = 16 << 20
 
-// appendFrame marshals one message as a frame.
+// appendFrame marshals one message as a frame appended to dst, reserving the
+// length prefix up front and patching it afterwards so the body is encoded
+// in place — one buffer, reusable by the caller, instead of a fresh body
+// allocation per send.
 func appendFrame(dst []byte, from NodeID, msg Message) ([]byte, error) {
 	pm, ok := msg.(protocol.Msg)
 	if !ok {
-		return nil, fmt.Errorf("live: cannot marshal %T", msg)
+		return dst, fmt.Errorf("live: cannot marshal %T", msg)
 	}
-	body := binary.AppendUvarint(nil, uint64(from))
-	body, err := protocol.Encode(body, pm)
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = binary.AppendUvarint(dst, uint64(from))
+	dst, err := protocol.Encode(dst, pm)
 	if err != nil {
-		return nil, fmt.Errorf("live: %w", err)
+		return dst[:start], fmt.Errorf("live: %w", err)
 	}
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
-	return append(dst, body...), nil
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst, nil
 }
 
 // readFrame reads and unmarshals one frame.
 func readFrame(r io.Reader) (Envelope, error) {
+	env, _, err := readFrameInto(r, nil)
+	return env, err
+}
+
+// readFrameInto is readFrame with a reusable body scratch: it returns the
+// (possibly grown) scratch so a read loop keeps one buffer per connection.
+// The decoded Envelope shares no storage with the scratch.
+func readFrameInto(r io.Reader, scratch []byte) (Envelope, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return Envelope{}, err
+		return Envelope{}, scratch, err
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
 	if n == 0 || n > maxFrame {
-		return Envelope{}, fmt.Errorf("live: bad frame length %d", n)
+		return Envelope{}, scratch, fmt.Errorf("live: bad frame length %d", n)
 	}
-	body := make([]byte, n)
+	if uint32(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	body := scratch[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Envelope{}, err
+		return Envelope{}, scratch, err
 	}
 	from, k := binary.Uvarint(body)
 	if k <= 0 {
-		return Envelope{}, fmt.Errorf("live: bad frame sender")
+		return Envelope{}, scratch, fmt.Errorf("live: bad frame sender")
 	}
 	m, used, err := protocol.Decode(body[k:])
 	if err != nil {
-		return Envelope{}, fmt.Errorf("live: frame payload: %w", err)
+		return Envelope{}, scratch, fmt.Errorf("live: frame payload: %w", err)
 	}
 	if k+used != len(body) {
-		return Envelope{}, fmt.Errorf("live: %d trailing bytes in frame", len(body)-k-used)
+		return Envelope{}, scratch, fmt.Errorf("live: %d trailing bytes in frame", len(body)-k-used)
 	}
-	return Envelope{From: NodeID(from), Msg: m}, nil
+	return Envelope{From: NodeID(from), Msg: m}, scratch, nil
 }

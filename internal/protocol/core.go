@@ -383,13 +383,16 @@ func (c *Core) complete(cd code.Code) {
 // --- reporting and gossip ----------------------------------------------------
 
 // FlushReport flushes the outbox as a work report to ReportFanout random
-// members. Compression already happened: the outbox is a contracted table.
+// members. Compression already happened: the outbox is a contracted table,
+// and the codes slice is its cached frontier — Reset drops the cache without
+// touching the slice, so the report rides the same allocation while the
+// outbox recycles its trie vertices for the next batch.
 func (c *Core) FlushReport() {
 	codes := c.outbox.Codes()
 	if len(codes) == 0 {
 		return
 	}
-	c.outbox = ctree.New()
+	c.outbox.Reset()
 	c.cnt.ReportedComps += c.outboxAdds
 	c.outboxAdds = 0
 	c.lastReport = c.d.Clock.Now()
