@@ -8,6 +8,7 @@
 //	dbbsim -procs 8 -problem knapsack:20:7 -prune           # real problem,
 //	dbbsim -procs 8 -problem qap:6:1 -prune                 #  no tree on disk
 //	dbbsim -procs 8 -crash 30:3 -crash 40:5 -loss 0.05      # fault injection
+//	dbbsim -procs 8 -crash 30:3:60 -dup 0.2 -reorder 0.3    # restart + chaos
 //	dbbsim -procs 3 -gantt                                  # ASCII Gantt
 //	dbbsim -procs 16 -membership                            # §5.2 protocol on
 package main
@@ -18,6 +19,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 
 	"gossipbnb/internal/bnb"
@@ -27,18 +29,34 @@ import (
 	"gossipbnb/internal/trace"
 )
 
-// crashList collects repeated -crash TIME:NODE flags.
+// crashList collects repeated -crash TIME:NODE[:RESTART] flags.
 type crashList []dbnb.Crash
 
 func (c *crashList) String() string { return fmt.Sprint(*c) }
 
 func (c *crashList) Set(s string) error {
-	var t float64
-	var n int
-	if _, err := fmt.Sscanf(s, "%f:%d", &t, &n); err != nil {
-		return fmt.Errorf("want TIME:NODE, got %q", s)
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return fmt.Errorf("want TIME:NODE or TIME:NODE:RESTART, got %q", s)
 	}
-	*c = append(*c, dbnb.Crash{Time: t, Node: n})
+	t, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return fmt.Errorf("bad crash time in %q: %v", s, err)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad crash node in %q: %v", s, err)
+	}
+	cr := dbnb.Crash{Time: t, Node: n}
+	if len(parts) == 3 {
+		if cr.Restart, err = strconv.ParseFloat(parts[2], 64); err != nil {
+			return fmt.Errorf("bad restart time in %q: %v", s, err)
+		}
+		if cr.Restart <= cr.Time {
+			return fmt.Errorf("restart time %g must be after crash time %g in %q", cr.Restart, cr.Time, s)
+		}
+	}
+	*c = append(*c, cr)
 	return nil
 }
 
@@ -60,8 +78,11 @@ func main() {
 		quiet    = flag.Float64("quiet", 0, "recovery quiet window, seconds (0 = default)")
 		member   = flag.Bool("membership", false, "run the §5.2 membership protocol")
 		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt of the run")
+		dup      = flag.Float64("dup", 0, "message duplication probability")
+		reorder  = flag.Float64("reorder", 0, "message reordering probability (bounded hold-back)")
+		replay   = flag.Float64("replay", 0, "stale-replay probability (~1 s late)")
 	)
-	flag.Var(&crashes, "crash", "crash-stop a process: TIME:NODE (repeatable)")
+	flag.Var(&crashes, "crash", "crash a process: TIME:NODE, or TIME:NODE:RESTART to reboot it (repeatable)")
 	flag.Parse()
 
 	var lg *trace.Log
@@ -78,6 +99,9 @@ func main() {
 		RecoveryQuiet: *quiet,
 		UseMembership: *member,
 		Crashes:       crashes,
+		Duplicate:     *dup,
+		Reorder:       *reorder,
+		Replay:        *replay,
 		Trace:         lg,
 	}
 

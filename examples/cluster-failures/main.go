@@ -1,7 +1,8 @@
 // Cluster-failures: the paper's headline scenario at cluster scale. A
 // 32-process simulated pool solves a ~10,000-node problem while processes
 // crash throughout the run — including a burst that leaves only a handful of
-// survivors — and a temporary network partition splits the pool in half.
+// survivors — a third of the crashed machines later reboot and rejoin with
+// empty state, and a temporary network partition splits the pool in half.
 // The run must still terminate with the exact optimum.
 package main
 
@@ -39,13 +40,22 @@ func main() {
 				Group: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
 		},
 	}
+	restarts := 0
 	for i := 0; i < 24; i++ {
-		cfg.Crashes = append(cfg.Crashes, gossipbnb.Crash{
+		c := gossipbnb.Crash{
 			// Crash every ~4% of the run, starting at 10%.
 			Time: (0.10 + 0.035*float64(i)) * base.Time,
 			Node: 31 - i,
-		})
+		}
+		if i%3 == 0 {
+			// Every third machine reboots ~20% of the run later and rejoins
+			// with an empty table, rebuilding purely from gossip.
+			c.Restart = c.Time + 0.2*base.Time
+			restarts++
+		}
+		cfg.Crashes = append(cfg.Crashes, c)
 	}
+	fmt.Printf("scheduling 24 crashes, of which %d machines restart\n", restarts)
 	res := gossipbnb.Run(tree, cfg)
 	fmt.Printf("hostile run: terminated=%v in %.1f s (%.2fx the failure-free time)\n",
 		res.Terminated, res.Time, res.Time/base.Time)

@@ -15,7 +15,8 @@
 //     re-derives any subproblem from its code plus the initial data;
 //   - "basic trees": recorded search trees that drive replay runs;
 //   - the deterministic discrete-event simulation of the full distributed
-//     algorithm, with crash, loss and partition injection;
+//     algorithm, with crash-stop, crash-restart, loss, partition,
+//     duplication, reordering, and stale-replay injection;
 //   - the DIB and centralized manager-worker baselines;
 //   - a live goroutine/channel runtime of the same protocol core.
 //
@@ -225,7 +226,8 @@ type SimConfig = dbnb.Config
 // SimResult reports a simulated run.
 type SimResult = dbnb.Result
 
-// Crash schedules a crash-stop failure.
+// Crash schedules a failure: crash-stop, or crash-restart when Restart is
+// set — the process reboots with empty state and rebuilds from gossip.
 type Crash = dbnb.Crash
 
 // SelectRule picks the local selection discipline of SimConfig.Select.
@@ -306,6 +308,10 @@ type LiveNet = live.Net
 
 // LiveTransport is the in-memory lossy transport.
 type LiveTransport = live.Transport
+
+// LiveChaos parameterizes adversarial delivery for the in-memory transport:
+// duplication, bounded reordering, and stale replay (LiveConfig.Chaos).
+type LiveChaos = live.Chaos
 
 // TCPNetwork runs the live protocol over real TCP sockets on loopback.
 type TCPNetwork = live.TCPNetwork

@@ -29,10 +29,17 @@ const (
 	DepthFirst = protocol.DepthFirst
 )
 
-// Crash schedules a crash-stop failure of one process.
+// Crash schedules a failure of one process: crash-stop when Restart is zero,
+// crash-restart when Restart > Time. A restarted process re-enters under its
+// old identity with an empty table and an empty pool — the paper's central
+// claim is that the completed-work table is the only state that matters, so
+// the process rebuilds purely from the reports, tables, and grants it
+// receives after rejoining. Runs stay deterministic in (scenario, seed).
 type Crash struct {
 	Time float64 // virtual time of the halt
 	Node int
+	// Restart, if > Time, is the virtual time the process comes back.
+	Restart float64
 }
 
 // Partition isolates Group from everyone else during [Start, End).
@@ -49,6 +56,20 @@ type Config struct {
 	// Network model. Latency nil means the paper's 1.5 + 0.005·L ms model.
 	Latency sim.LatencyModel
 	Loss    float64
+
+	// Adversarial delivery — the full asynchronous model of §4, beyond the
+	// loss-only network of the paper's own experiments. Duplicate is the
+	// independent probability a message is delivered twice (the copy draws
+	// its own latency, so the pair races). Reorder is the probability a
+	// message is held back by up to ReorderWindow extra seconds, letting
+	// later sends overtake it; ReorderWindow 0 means 10× the base latency.
+	// Replay re-delivers a stale copy between ReplayDelay and 2·ReplayDelay
+	// seconds after the send; ReplayDelay 0 means 1 second.
+	Duplicate     float64
+	Reorder       float64
+	ReorderWindow float64
+	Replay        float64
+	ReplayDelay   float64
 
 	// CostFactor scales every node cost, the paper's granularity knob
 	// ("we tuned this granularity by multiplying all time values by a

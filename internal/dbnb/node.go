@@ -32,8 +32,22 @@ type node struct {
 	detectedAt float64
 	inbox      []inMsg
 
+	// incarn is the crash-restart incarnation: every busy-period and pacing
+	// callback captures it at schedule time and aborts if the node has been
+	// reborn since — a pre-crash expansion finishing after the restart must
+	// not leak the dead incarnation's state into the fresh core.
+	incarn    int
+	crashedAt float64
+	// cntPrior accumulates dead incarnations' protocol counters, so the
+	// experiment tables count messages a crashed process really sent.
+	cntPrior protocol.Counters
+
 	reqWaiting bool // pacing delay between failed load-balancing attempts
 	reqTimer   *sim.Event
+	// reportTimer and tableTimer are the pending periodic ticks, cancelled at
+	// crash so a restart can restagger fresh chains without doubling them.
+	reportTimer *sim.Event
+	tableTimer  *sim.Event
 
 	tableOps  int     // sampling counter for storage observation
 	idleStart float64 // <0 when not idle
@@ -68,8 +82,17 @@ func (s nodeSender) Send(to protocol.NodeID, m protocol.Msg) {
 
 func newNode(id sim.NodeID, h *harness) *node {
 	n := &node{id: id, h: h, exp: h.w.newExpander(), idleStart: -1, met: &h.met.Nodes[id]}
+	n.initCore()
+	return n
+}
+
+// initCore builds a fresh protocol core over the node's current expander —
+// at construction and again at every crash-restart (a rebooted process keeps
+// nothing but its identity and the initial problem data).
+func (n *node) initCore() {
+	h := n.h
 	cfg := &h.cfg
-	n.core = protocol.New(protocol.NodeID(id), protocol.Config{
+	n.core = protocol.New(protocol.NodeID(n.id), protocol.Config{
 		Select:           cfg.Select,
 		Prune:            cfg.Prune,
 		ReportBatch:      cfg.ReportBatch,
@@ -91,7 +114,6 @@ func newNode(id sim.NodeID, h *harness) *node {
 		OnComplete:    h.noteCompletion,
 		OnTableChange: n.observeTable,
 	})
-	return n
 }
 
 // peerView adapts the harness's membership view to protocol identifiers. The
@@ -157,7 +179,11 @@ func (n *node) expand(it protocol.Item) {
 	cost := n.h.w.costOf(it) * n.h.cfg.CostFactor
 	n.busy = true
 	start := n.h.k.Now()
+	gen := n.incarn
 	n.h.k.After(cost, func() {
+		if n.incarn != gen {
+			return // the node was reborn; this expansion died with its incarnation
+		}
 		n.busy = false
 		if n.crashed {
 			return
@@ -175,7 +201,8 @@ func (n *node) expand(it protocol.Item) {
 // --- reporting timers ---------------------------------------------------------
 
 // reportTick flushes a stale outbox on the core's (possibly adaptive)
-// schedule.
+// schedule. The pending event handle is kept so crash can cancel the chain;
+// a restart starts a freshly staggered one.
 func (n *node) reportTick() {
 	if n.dead() {
 		return
@@ -183,7 +210,7 @@ func (n *node) reportTick() {
 	if n.core.ReportOverdue() {
 		n.core.FlushReport()
 	}
-	n.h.k.After(n.h.cfg.ReportTimeout, n.reportTick)
+	n.reportTimer = n.h.k.After(n.h.cfg.ReportTimeout, n.reportTick)
 }
 
 // tableTick occasionally pushes the full table to one random member.
@@ -196,7 +223,7 @@ func (n *node) tableTick() {
 		to := peers[n.h.k.Rand().Intn(len(peers))]
 		n.core.SendTable(protocol.NodeID(to))
 	}
-	n.h.k.After(n.h.cfg.TableInterval, n.tableTick)
+	n.tableTimer = n.h.k.After(n.h.cfg.TableInterval, n.tableTick)
 }
 
 // --- load balancing and recovery ---------------------------------------------
@@ -208,10 +235,11 @@ func (n *node) requestWork() {
 	if n.dead() || n.reqWaiting || n.busy {
 		return
 	}
+	gen := n.incarn
 	switch n.core.Starve() {
 	case protocol.StarveRequested:
 		n.reqTimer = n.h.k.After(n.h.cfg.RequestTimeout, func() {
-			if n.dead() {
+			if n.incarn != gen || n.dead() {
 				return
 			}
 			n.core.RequestFailed()
@@ -234,7 +262,11 @@ func (n *node) paceRetry() {
 		return
 	}
 	n.reqWaiting = true
+	gen := n.incarn
 	n.h.k.After(n.h.cfg.RetryDelay, func() {
+		if n.incarn != gen {
+			return
+		}
 		n.reqWaiting = false
 		if !n.dead() && !n.busy {
 			n.loop()
@@ -257,7 +289,11 @@ func (n *node) recover() {
 	n.busy = true
 	start := n.h.k.Now()
 	n.endIdle()
+	gen := n.incarn
 	n.h.k.After(scanCost, func() {
+		if n.incarn != gen {
+			return
+		}
 		n.busy = false
 		if n.crashed {
 			return
@@ -316,7 +352,11 @@ func (n *node) drainInbox() {
 	n.busy = true
 	start := n.h.k.Now()
 	n.endIdle()
+	gen := n.incarn
 	n.h.k.After(total, func() {
+		if n.incarn != gen {
+			return
+		}
 		n.busy = false
 		if n.crashed {
 			return
@@ -374,10 +414,54 @@ func (n *node) endIdle() {
 	}
 }
 
-// crash halts the node (crash-stop).
+// crash halts the node (crash-stop; a scheduled Restart turns it into
+// crash-restart). Every pending timer chain is cancelled so a later rebirth
+// can start fresh ones without doubling them.
 func (n *node) crash() {
 	n.endIdle()
 	n.crashed = true
+	n.crashedAt = n.h.k.Now()
 	n.inbox = nil
 	n.reqTimer.Cancel()
+	n.reportTimer.Cancel()
+	n.tableTimer.Cancel()
+}
+
+// restart reboots a crashed node under its old identity (§5.2 rejoin): an
+// empty table, an empty pool, a fresh expander over the initial data, and
+// nothing else — the process rebuilds purely from the reports, tables, and
+// grants it receives. The incarnation counter orphans every callback the
+// dead incarnation left behind.
+func (n *node) restart() {
+	if !n.crashed || n.done {
+		// Never crashed: nothing to do. Crashed after terminating: the
+		// process already played its part in §5.4 — rebooting it would
+		// re-enter a finished computation; it stays down and is counted
+		// crashed like any post-termination failure.
+		return
+	}
+	n.h.cfg.Trace.Add(int(n.id), trace.Dead, n.crashedAt, n.h.k.Now())
+	n.cntPrior = n.cntPrior.Merge(n.core.Counters())
+	n.incarn++
+	n.crashed = false
+	n.busy = false
+	n.reqWaiting = false
+	n.inbox = nil
+	n.idleStart = -1
+	n.tableOps = 0
+	n.exp = n.h.w.newExpander()
+	n.initCore()
+	if n.h.cfg.UseMembership {
+		// Rejoin the group through the §5.2 membership path: a brand-new
+		// member announces itself to the gossip servers and rebuilds its
+		// view from their gossip, exactly like a first join.
+		n.h.rejoinMember(n.id)
+	}
+	// Restagger the periodic chains like at boot and resume the main loop.
+	jitter := n.h.k.Rand().Float64()
+	n.reportTimer = n.h.k.After(jitter*n.h.cfg.ReportTimeout, n.reportTick)
+	if n.h.cfg.TableInterval > 0 {
+		n.tableTimer = n.h.k.After(jitter*n.h.cfg.TableInterval, n.tableTick)
+	}
+	n.loop()
 }

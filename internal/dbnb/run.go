@@ -101,6 +101,19 @@ func (h *harness) view(self sim.NodeID) []sim.NodeID {
 	return out
 }
 
+// rejoinMember replaces a restarted process's membership agent with a fresh
+// one that rejoins through the gossip servers (§5.2): the old view died with
+// the old incarnation, and peers that timed the process out re-admit it on
+// its new join announcement.
+func (h *harness) rejoinMember(id sim.NodeID) {
+	// Retire the dead incarnation's agent explicitly: its gossip round may
+	// not have ticked inside the crash window, and an undead agent would
+	// keep gossiping its stale view under the same identity.
+	h.members[id].Leave()
+	h.members[id] = member.New(h.k, h.nw, id, []sim.NodeID{0}, member.DefaultConfig())
+	h.members[id].Join()
+}
+
 // noteExpansion tracks redundant work: expansions of tree nodes some process
 // already expanded. The key is encoded into a reused scratch buffer; the
 // compiler elides the string conversion on lookup, so only first-time
@@ -217,6 +230,12 @@ func run(cfg Config, w workload) Result {
 	}
 	h.nw = sim.NewNetwork(h.k, cfg.Latency)
 	h.nw.SetLoss(cfg.Loss)
+	// Unconditional, like SetLoss: a malformed probability (a sign typo for
+	// a knob the user believes is on) must panic, not silently run a
+	// well-behaved network.
+	h.nw.SetDuplicate(cfg.Duplicate)
+	h.nw.SetReorder(cfg.Reorder, cfg.ReorderWindow)
+	h.nw.SetReplay(cfg.Replay, cfg.ReplayDelay)
 	for _, p := range cfg.Partitions {
 		ids := make([]sim.NodeID, len(p.Group))
 		for i, g := range p.Group {
@@ -235,15 +254,16 @@ func run(cfg Config, w workload) Result {
 		n := h.nodes[i]
 		if cfg.UseMembership {
 			h.members[i] = member.New(h.k, h.nw, id, []sim.NodeID{0}, member.DefaultConfig())
-			mem := h.members[i]
+			// The member is looked up per delivery, not captured: a restart
+			// replaces it with a brand-new one rejoining the group.
 			h.nw.Register(id, func(from sim.NodeID, msg sim.Message) {
 				if member.IsProtocolMessage(msg) {
-					mem.Deliver(from, msg)
+					h.members[id].Deliver(from, msg)
 					return
 				}
 				n.deliver(from, msg)
 			})
-			mem.Join()
+			h.members[i].Join()
 		} else {
 			h.nw.Register(id, n.deliver)
 		}
@@ -256,28 +276,34 @@ func run(cfg Config, w workload) Result {
 	for i := range h.nodes {
 		n := h.nodes[i]
 		// Stagger periodic timers so they do not synchronize system-wide.
+		// The handles are kept so a crash before the first tick can cancel
+		// the boot chain — a restart starts a fresh one.
 		jitter := h.k.Rand().Float64()
-		h.k.At(jitter*cfg.ReportTimeout, n.reportTick)
+		n.reportTimer = h.k.At(jitter*cfg.ReportTimeout, n.reportTick)
 		if cfg.TableInterval > 0 {
-			h.k.At(jitter*cfg.TableInterval, n.tableTick)
+			n.tableTimer = h.k.At(jitter*cfg.TableInterval, n.tableTick)
 		}
 		h.k.At(0, n.loop)
 	}
 
-	crashTime := make([]float64, cfg.Procs)
-	for i := range crashTime {
-		crashTime[i] = math.NaN()
-	}
 	for _, c := range cfg.Crashes {
 		c := c
 		if c.Node < 0 || c.Node >= cfg.Procs {
 			continue
 		}
-		crashTime[c.Node] = c.Time
 		h.k.At(c.Time, func() {
 			h.nw.Crash(sim.NodeID(c.Node))
 			h.nodes[c.Node].crash()
 		})
+		if c.Restart > c.Time {
+			// Crash-restart: the process reboots under its old identity and
+			// rebuilds from gossip. Restore first so the rejoin traffic the
+			// restart triggers is not swallowed by its own crashed mark.
+			h.k.At(c.Restart, func() {
+				h.nw.Restore(sim.NodeID(c.Node))
+				h.nodes[c.Node].restart()
+			})
+		}
 	}
 
 	end := h.k.Run(cfg.MaxTime)
@@ -306,8 +332,9 @@ func run(cfg Config, w workload) Result {
 		// driver accounts only what the substrate defines (time splits,
 		// storage peaks, expansions it paid for); event counts are the
 		// core's, so a termination broadcast is not a "work report" in the
-		// experiment tables.
-		cnt := n.core.Counters()
+		// experiment tables. Dead crash-restart incarnations folded their
+		// tallies into cntPrior — messages they sent were really sent.
+		cnt := n.cntPrior.Merge(n.core.Counters())
 		n.met.ReportsSent = cnt.ReportsSent
 		n.met.ReportCodes = cnt.ReportCodes
 		n.met.ReportedComps = cnt.ReportedComps
@@ -319,7 +346,7 @@ func run(cfg Config, w workload) Result {
 		switch {
 		case n.crashed:
 			res.DetectTimes[i] = math.NaN()
-			cfg.Trace.Add(i, trace.Dead, crashTime[i], traceEnd)
+			cfg.Trace.Add(i, trace.Dead, n.crashedAt, traceEnd)
 		case n.done:
 			res.DetectTimes[i] = n.detectedAt
 			anyDetected = true

@@ -22,8 +22,12 @@ type Config struct {
 	// Both apply only to the default in-memory transport.
 	Delay func(bytes int) time.Duration
 	Loss  float64
+	// Chaos turns on adversarial delivery (duplication, bounded reordering,
+	// stale replay). It applies only to the default in-memory transport; a
+	// caller-supplied Network brings its own delivery model.
+	Chaos Chaos
 	// Network overrides the transport; nil means an in-memory Transport
-	// built from Seed/Delay/Loss. Pass a TCPNetwork to run over real
+	// built from Seed/Delay/Loss/Chaos. Pass a TCPNetwork to run over real
 	// sockets. The cluster closes the network when Run returns.
 	Network Net
 	// Protocol parameters, as in the simulator.
@@ -73,27 +77,49 @@ type Result struct {
 	BytesSent  int64
 }
 
-// liveNode is one goroutine-backed process: a protocol.Core plus the
-// wall-clock substrate — real sleeps for subproblem costs, a channel inbox,
-// and real elapsed time for the recovery quiet window. All protocol
-// decisions live in the core, which is confined to this node's goroutine.
+// liveNode is one goroutine-backed process identity: it survives
+// crash-restart cycles, while each reboot runs as a fresh incarnation — a
+// new core, a new expander, a new inbox — on its own goroutine. All
+// protocol decisions live in the core, which is confined to its
+// incarnation's goroutine.
 type liveNode struct {
-	id    NodeID
-	cl    *Cluster
-	inbox <-chan Envelope
-	core  *protocol.Core
-	exp   protocol.Expander // this process's own code resolver
+	id NodeID
+	cl *Cluster
+
+	// mu guards cur, the incarnation whose core is the node's current
+	// protocol state; Restart swaps it. The goroutine of a dead incarnation
+	// may briefly keep running against its own (orphaned) core — gen tells
+	// it to exit at the next loop turn.
+	mu  sync.Mutex
+	cur *incarnation
+	gen atomic.Int64
 
 	crashed atomic.Bool
 	done    atomic.Bool
 
-	lastProbe time.Time // paces starvation probes RetryDelay apart
+	// expanded counts expansions across all incarnations — a crashed
+	// incarnation's work was really performed (and possibly reported), so
+	// the cluster-level tally must not lose it.
+	expanded atomic.Int64
 
 	// peersCache is the predetermined resource pool (every other process),
 	// built once at construction: the view is static, the core reads it
 	// without retaining or mutating it, and rebuilding it on every protocol
-	// decision allocated O(nodes) per decision.
+	// decision allocated O(nodes) per decision. A restarted process keeps
+	// the same pool — machine identity, not view state.
 	peersCache []protocol.NodeID
+}
+
+// incarnation is one boot of a liveNode: everything a crash wipes. The §5
+// process model runs here, against this incarnation's own core and inbox.
+type incarnation struct {
+	n     *liveNode
+	gen   int64
+	inbox <-chan Envelope
+	core  *protocol.Core
+	exp   protocol.Expander // this incarnation's own code resolver
+
+	lastProbe time.Time // paces starvation probes RetryDelay apart
 }
 
 // Cluster wires live nodes over a shared transport. It solves either a
@@ -101,10 +127,12 @@ type liveNode struct {
 // cost) or a code-driven problem (NewProblemCluster: expansion burns real
 // CPU re-deriving bounds from the initial data).
 type Cluster struct {
-	cfg   Config
-	tr    Net
-	start time.Time
-	nodes []*liveNode
+	cfg    Config
+	tr     Net
+	start  time.Time
+	clock  liveClock
+	newExp func() protocol.Expander
+	nodes  []*liveNode
 	// sleepOf is the scaled seconds an expansion sleeps before the expander
 	// computes the outcome; zero for code-driven problems, whose outcome
 	// computation is itself the work.
@@ -114,6 +142,14 @@ type Cluster struct {
 	wg      sync.WaitGroup
 	doneCh  chan NodeID
 	stopAll chan struct{}
+	// stopMu orders Restart's wg.Add against Run's close(stopAll)+wg.Wait:
+	// a restart racing the shutdown must either win the Add before the stop
+	// flag is set or see it and spawn nothing. started gates Restart to the
+	// running window — before Run spawns the boot incarnations, a restart
+	// would double-drive the same core from two goroutines.
+	stopMu  sync.Mutex
+	started bool
+	stopped bool
 	rngMu   sync.Mutex
 	rngSeed int64
 }
@@ -167,57 +203,152 @@ func NewProblemClusterRef(p bnb.Problem, ref bnb.Result, cfg Config) *Cluster {
 func newCluster(cfg Config, newExp func() protocol.Expander, sleepOf func(it protocol.Item) float64, trueOpt float64) *Cluster {
 	tr := cfg.Network
 	if tr == nil {
-		tr = NewTransport(cfg.Seed, cfg.Delay, cfg.Loss)
+		mem := NewTransport(cfg.Seed, cfg.Delay, cfg.Loss)
+		if cfg.Chaos != (Chaos{}) {
+			mem.SetChaos(cfg.Chaos)
+		}
+		tr = mem
 	}
 	cl := &Cluster{
 		cfg:     cfg,
 		tr:      tr,
 		start:   time.Now(),
+		newExp:  newExp,
 		sleepOf: sleepOf,
 		trueOpt: trueOpt,
 		doneCh:  make(chan NodeID, cfg.Nodes),
 		stopAll: make(chan struct{}),
 		rngSeed: cfg.Seed,
 	}
-	clock := liveClock{start: cl.start}
+	cl.clock = liveClock{start: cl.start}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := NodeID(i)
-		n := &liveNode{id: id, cl: cl, inbox: cl.tr.Register(id), exp: newExp()}
+		n := &liveNode{id: id, cl: cl}
 		n.peersCache = make([]protocol.NodeID, 0, cfg.Nodes-1)
 		for j := 0; j < cfg.Nodes; j++ {
 			if j != i {
 				n.peersCache = append(n.peersCache, protocol.NodeID(j))
 			}
 		}
-		n.core = protocol.New(protocol.NodeID(id), protocol.Config{
-			Select:           cfg.Select,
-			Prune:            cfg.Prune,
-			ReportBatch:      cfg.ReportBatch,
-			ReportFanout:     cfg.ReportFanout,
-			MinPoolToShare:   cfg.MinPoolToShare,
-			MaxShare:         cfg.MaxShare,
-			RecoveryPatience: cfg.RecoveryPatience,
-			RecoveryQuiet:    cfg.RecoveryQuiet.Seconds(),
-		}, protocol.Deps{
-			Clock:     clock,
-			Sender:    liveSender{n},
-			Expander:  n.exp,
-			Peers:     n.peers,
-			Rand:      cl.rand,
-			RandFloat: cl.randFloat,
-		})
+		n.cur = cl.newIncarnation(n, 0, cl.tr.Register(id))
 		cl.nodes = append(cl.nodes, n)
 	}
-	cl.nodes[0].core.Seed(cl.nodes[0].exp.Root())
+	cl.nodes[0].cur.core.Seed(cl.nodes[0].cur.exp.Root())
 	return cl
 }
 
-// Crash halts a node mid-run.
+// newIncarnation builds one boot of a node: a fresh core over a fresh
+// expander, fed from the given inbox — all the state the paper lets a
+// process lose.
+func (cl *Cluster) newIncarnation(n *liveNode, gen int64, inbox <-chan Envelope) *incarnation {
+	cfg := &cl.cfg
+	inc := &incarnation{n: n, gen: gen, inbox: inbox, exp: cl.newExp()}
+	inc.core = protocol.New(protocol.NodeID(n.id), protocol.Config{
+		Select:           cfg.Select,
+		Prune:            cfg.Prune,
+		ReportBatch:      cfg.ReportBatch,
+		ReportFanout:     cfg.ReportFanout,
+		MinPoolToShare:   cfg.MinPoolToShare,
+		MaxShare:         cfg.MaxShare,
+		RecoveryPatience: cfg.RecoveryPatience,
+		RecoveryQuiet:    cfg.RecoveryQuiet.Seconds(),
+	}, protocol.Deps{
+		Clock:     cl.clock,
+		Sender:    liveSender{n},
+		Expander:  inc.exp,
+		Peers:     n.peers,
+		Rand:      cl.rand,
+		RandFloat: cl.randFloat,
+	})
+	return inc
+}
+
+// Crash halts a node mid-run. It serializes with Restart under stopMu so a
+// concurrent crash and rebirth of the same node cannot interleave their
+// flag and transport updates into a half-dead state.
 func (cl *Cluster) Crash(id NodeID) {
 	if int(id) < len(cl.nodes) {
+		cl.stopMu.Lock()
 		cl.nodes[id].crashed.Store(true)
 		cl.tr.Crash(id)
+		cl.stopMu.Unlock()
 	}
+}
+
+// Restart reboots a crashed node mid-run under its old identity: it
+// re-registers through the transport (fresh inbox, and for TCP a fresh
+// listener on its old address), re-enters the predetermined resource pool
+// it never left — failures are not directly detectable, so peers kept
+// probing it all along — and rebuilds its state purely from the reports,
+// tables, and grants it receives. Restarting a node that is not crashed is
+// a no-op.
+func (cl *Cluster) Restart(id NodeID) {
+	if int(id) >= len(cl.nodes) {
+		return
+	}
+	n := cl.nodes[id]
+	if !n.crashed.Load() || n.done.Load() {
+		// Never crashed, or crashed after terminating — a finished process
+		// has already played its part in §5.4 and stays down.
+		return
+	}
+	// The whole rebirth happens under stopMu: Run's completion check closes
+	// the run under the same lock, so a restart either lands before it (the
+	// run extends and waits for the reborn node) or sees stopped and leaves
+	// every node untouched — never a half-revived node in a closed run.
+	cl.stopMu.Lock()
+	defer cl.stopMu.Unlock()
+	if !cl.started || cl.stopped {
+		return // not running: the boot spawn or nothing would double-drive it
+	}
+	inbox := cl.tr.Restart(id)
+	if inbox == nil {
+		return // transport already torn down
+	}
+	// Bump the generation first: the dead incarnation's goroutine may still
+	// be running, and must see itself orphaned before crashed clears.
+	inc := cl.newIncarnation(n, n.gen.Add(1), inbox)
+	n.mu.Lock()
+	n.cur = inc
+	n.mu.Unlock()
+	n.crashed.Store(false)
+	cl.wg.Add(1)
+	go inc.run()
+}
+
+// allDone reports whether every non-crashed node detected termination.
+func (cl *Cluster) allDone() bool {
+	for _, n := range cl.nodes {
+		if !n.crashed.Load() && !n.done.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// tryStop closes the run iff it is complete, deciding under stopMu so no
+// Restart can revive a node between the verdict and the close.
+func (cl *Cluster) tryStop() bool {
+	cl.stopMu.Lock()
+	defer cl.stopMu.Unlock()
+	if !cl.allDone() {
+		return false
+	}
+	if !cl.stopped {
+		cl.stopped = true
+		close(cl.stopAll)
+	}
+	return true
+}
+
+// stop closes the run unconditionally (timeout path).
+func (cl *Cluster) stop() {
+	cl.stopMu.Lock()
+	if !cl.stopped {
+		cl.stopped = true
+		close(cl.stopAll)
+	}
+	cl.stopMu.Unlock()
 }
 
 // rand returns a pseudo-random int below n, safe for concurrent callers.
@@ -243,10 +374,13 @@ func (cl *Cluster) randFloat() float64 {
 // termination or the timeout expires.
 func (cl *Cluster) Run() Result {
 	start := time.Now()
+	cl.stopMu.Lock()
+	cl.started = true
 	for _, n := range cl.nodes {
 		cl.wg.Add(1)
-		go n.run()
+		go n.cur.run()
 	}
+	cl.stopMu.Unlock()
 	deadline := time.After(cl.cfg.Timeout)
 	tick := time.NewTicker(2 * time.Millisecond)
 	defer tick.Stop()
@@ -254,15 +388,10 @@ func (cl *Cluster) Run() Result {
 loop:
 	for {
 		// Crashed nodes never signal, so completion is "every non-crashed
-		// node detected termination", re-checked on every tick.
-		allDone := true
-		for _, n := range cl.nodes {
-			if !n.crashed.Load() && !n.done.Load() {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
+		// node detected termination", re-checked on every tick — under
+		// stopMu, so a Restart racing the check either revives its node
+		// before the verdict (the loop keeps waiting for it) or is refused.
+		if cl.tryStop() {
 			break
 		}
 		select {
@@ -270,10 +399,10 @@ loop:
 		case <-tick.C:
 		case <-deadline:
 			timedOut = true
+			cl.stop()
 			break loop
 		}
 	}
-	close(cl.stopAll)
 	cl.wg.Wait()
 	defer cl.tr.Close()
 
@@ -281,13 +410,16 @@ loop:
 	crashedCount := 0
 	terminatedAll := true
 	for _, n := range cl.nodes {
-		res.Expanded += n.core.Counters().Expanded
+		res.Expanded += int(n.expanded.Load())
+		n.mu.Lock()
+		core := n.cur.core
+		n.mu.Unlock()
 		if n.crashed.Load() {
 			crashedCount++
 			continue
 		}
 		if n.done.Load() {
-			if opt := n.core.Incumbent(); opt < res.Optimum {
+			if opt := core.Incumbent(); opt < res.Optimum {
 				res.Optimum = opt
 			}
 		} else {
@@ -308,15 +440,21 @@ func (n *liveNode) peers() []protocol.NodeID {
 	return n.peersCache
 }
 
-// run is the node goroutine: alternate work and message handling, exactly
-// the process model of §5.
-func (n *liveNode) run() {
+// run is the incarnation goroutine: alternate work and message handling,
+// exactly the process model of §5. It exits when the cluster stops, the node
+// crashes, or a restart orphans this incarnation (the generation moved on).
+func (inc *incarnation) run() {
+	n := inc.n
 	defer n.cl.wg.Done()
 	for {
 		select {
 		case <-n.cl.stopAll:
 			return
 		default:
+		}
+		if n.gen.Load() != inc.gen {
+			// A restart replaced this incarnation; its core is an orphan.
+			return
 		}
 		if n.crashed.Load() {
 			// A crashed process halts; drain nothing, say nothing.
@@ -326,8 +464,8 @@ func (n *liveNode) run() {
 			// Terminated: keep handling messages — the core answers work
 			// requests with the root report so stragglers terminate too.
 			select {
-			case env := <-n.inbox:
-				n.handle(env)
+			case env := <-inc.inbox:
+				inc.handle(env)
 			case <-n.cl.stopAll:
 				return
 			}
@@ -337,94 +475,96 @@ func (n *liveNode) run() {
 		drained := false
 		for !drained {
 			select {
-			case env := <-n.inbox:
-				n.handle(env)
+			case env := <-inc.inbox:
+				inc.handle(env)
 			default:
 				drained = true
 			}
 		}
-		it, st := n.core.Next()
+		it, st := inc.core.Next()
 		switch st {
 		case protocol.Expand:
-			n.expand(it)
+			inc.expand(it)
 		case protocol.Terminated:
 			n.terminate()
 		case protocol.Starved:
-			n.starve()
+			inc.starve()
 		}
 	}
 }
 
 // handle feeds one delivered message to the core.
-func (n *liveNode) handle(env Envelope) protocol.Effect {
+func (inc *incarnation) handle(env Envelope) protocol.Effect {
 	pm, ok := env.Msg.(protocol.Msg)
 	if !ok {
 		return protocol.Effect{}
 	}
-	return n.core.HandleMessage(protocol.NodeID(env.From), pm)
+	return inc.core.HandleMessage(protocol.NodeID(env.From), pm)
 }
 
 // expand performs one unit of work: tree replays sleep the scaled recorded
 // cost and then translate the recorded outcome; code-driven problems spend
 // their time inside Outcome itself, re-deriving bounds from the initial
 // data. Either way the elapsed seconds feed the core's adaptive pacing.
-func (n *liveNode) expand(it protocol.Item) {
+func (inc *incarnation) expand(it protocol.Item) {
 	sleep := 0.0
-	if n.cl.sleepOf != nil {
-		sleep = n.cl.sleepOf(it)
+	if inc.n.cl.sleepOf != nil {
+		sleep = inc.n.cl.sleepOf(it)
 		time.Sleep(time.Duration(sleep * float64(time.Second)))
 	}
 	start := time.Now()
-	out := n.exp.Outcome(it)
-	if n.crashed.Load() {
-		return
+	out := inc.exp.Outcome(it)
+	if inc.n.crashed.Load() || inc.n.gen.Load() != inc.gen {
+		return // the work died with this incarnation
 	}
-	n.core.OnExpanded(it, out, sleep+time.Since(start).Seconds())
+	inc.core.OnExpanded(it, out, sleep+time.Since(start).Seconds())
+	inc.n.expanded.Add(1)
 }
 
 // starve runs the core's out-of-work decision, then supplies the substrate
 // side: a bounded wait standing in for the simulator's request timer, or
 // the complement recovery the core planned.
-func (n *liveNode) starve() {
+func (inc *incarnation) starve() {
+	n := inc.n
 	// Pace probes RetryDelay apart no matter how full the inbox is — the
 	// wall-clock analogue of the simulator's retry pacing. Without it a
 	// cluster of starving processes answers every incoming message with a
 	// fresh probe and storms itself at network speed.
-	if wait := n.cl.cfg.RetryDelay - time.Since(n.lastProbe); wait > 0 {
+	if wait := n.cl.cfg.RetryDelay - time.Since(inc.lastProbe); wait > 0 {
 		select {
-		case env := <-n.inbox:
-			n.handle(env)
+		case env := <-inc.inbox:
+			inc.handle(env)
 			return
 		case <-time.After(wait):
 		case <-n.cl.stopAll:
 			return
 		}
 	}
-	switch n.core.Starve() {
+	switch inc.core.Starve() {
 	case protocol.StarveRecover:
-		if plan := n.core.PlanRecovery(); len(plan) > 0 {
-			n.core.Adopt(plan)
+		if plan := inc.core.PlanRecovery(); len(plan) > 0 {
+			inc.core.Adopt(plan)
 		}
 	case protocol.StarveRequested:
-		n.lastProbe = time.Now()
+		inc.lastProbe = time.Now()
 		// Wait for the answer — or anything else worth reacting to.
 		select {
-		case env := <-n.inbox:
-			if eff := n.handle(env); !eff.Answered {
+		case env := <-inc.inbox:
+			if eff := inc.handle(env); !eff.Answered {
 				// Not the answer; don't count a failed attempt, just
 				// re-enter the loop (the next starve probes again).
-				n.core.AbandonRequest()
+				inc.core.AbandonRequest()
 			}
 		case <-time.After(n.cl.cfg.RetryDelay):
-			n.core.RequestFailed()
+			inc.core.RequestFailed()
 		case <-n.cl.stopAll:
 		}
 	case protocol.StarveWait:
 		// Nothing to send (e.g. a lone process inside the quiet window):
 		// pace the retry.
 		select {
-		case env := <-n.inbox:
-			n.handle(env)
+		case env := <-inc.inbox:
+			inc.handle(env)
 		case <-time.After(n.cl.cfg.RetryDelay):
 		case <-n.cl.stopAll:
 		}
@@ -437,5 +577,8 @@ func (n *liveNode) terminate() {
 	if n.done.Swap(true) {
 		return
 	}
-	n.cl.doneCh <- n.id
+	select {
+	case n.cl.doneCh <- n.id:
+	default: // Run's ticker re-checks completion anyway
+	}
 }

@@ -75,6 +75,44 @@ func (t *TCPNetwork) Register(id NodeID) <-chan Envelope {
 	return t.inboxes[id]
 }
 
+// Restart implements Net: the crashed node reboots under its old identity —
+// a fresh listener on its recorded address, a fresh empty inbox. Peers
+// whose connections died with the crash re-dial lazily on their next send,
+// exactly like clients reconnecting to a rebooted machine. If the old port
+// was claimed meanwhile, the node comes back on a new one.
+func (t *TCPNetwork) Restart(id NodeID) <-chan Envelope {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	delete(t.crashed, id)
+	addr := t.addrs[id]
+	ch := make(chan Envelope, inboxCap)
+	t.inboxes[id] = ch
+	t.mu.Unlock()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+	}
+	if err != nil {
+		return ch // no listener: the node can send but never receive
+	}
+	t.mu.Lock()
+	if t.closed || t.crashed[id] {
+		t.mu.Unlock()
+		ln.Close()
+		return ch
+	}
+	t.lns[id] = ln
+	t.addrs[id] = ln.Addr().String()
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.acceptLoop(id, ln)
+	return ch
+}
+
 // Crash implements Net: the node's listener and connections close, so
 // in-flight and future traffic to it is dropped by the kernel, exactly like
 // a machine halting.

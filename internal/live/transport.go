@@ -7,6 +7,7 @@
 package live
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -29,6 +30,10 @@ type Envelope struct {
 type Net interface {
 	// Register creates the inbox for id and returns its receive channel.
 	Register(id NodeID) <-chan Envelope
+	// Restart revives a crashed id under its old identity and returns a
+	// fresh, empty inbox: messages that arrived while it was down stay
+	// lost, exactly like a machine rebooting.
+	Restart(id NodeID) <-chan Envelope
 	// Send queues msg for asynchronous delivery; it must never block the
 	// caller and may drop silently (loss, crash, congestion).
 	Send(from, to NodeID, msg Message)
@@ -40,6 +45,44 @@ type Net interface {
 	Stats() (sent, dropped, bytes int64)
 	// Close releases transport resources after the run.
 	Close()
+}
+
+// Chaos parameterizes adversarial delivery: the duplicated, reordered, and
+// replayed arrivals the asynchronous model of §4 permits but well-behaved
+// transports rarely produce. The zero value is a well-behaved network.
+type Chaos struct {
+	// Duplicate is the independent probability a message is delivered twice.
+	// The copy is scheduled with the base delay, so it races the original
+	// only when the original was held back by Reorder (or by delivery-time
+	// scheduling jitter).
+	Duplicate float64
+	// Reorder is the probability a message is held back by up to
+	// ReorderWindow extra delay, letting later sends overtake it.
+	// ReorderWindow 0 means 5 ms.
+	Reorder       float64
+	ReorderWindow time.Duration
+	// Replay re-delivers a stale copy between ReplayDelay and 2·ReplayDelay
+	// after the send; ReplayDelay 0 means 50 ms.
+	Replay      float64
+	ReplayDelay time.Duration
+}
+
+func (c Chaos) withDefaults() Chaos {
+	for _, p := range [...]struct {
+		what string
+		p    float64
+	}{{"duplicate", c.Duplicate}, {"reorder", c.Reorder}, {"replay", c.Replay}} {
+		if p.p < 0 || p.p > 1 {
+			panic(fmt.Sprintf("live: %s probability %g out of [0,1]", p.what, p.p))
+		}
+	}
+	if c.ReorderWindow <= 0 {
+		c.ReorderWindow = 5 * time.Millisecond
+	}
+	if c.ReplayDelay <= 0 {
+		c.ReplayDelay = 50 * time.Millisecond
+	}
+	return c
 }
 
 var _ Net = (*Transport)(nil)
@@ -55,9 +98,14 @@ type Transport struct {
 	rng     *rand.Rand
 	delay   func(bytes int) time.Duration
 	loss    float64
+	chaos   Chaos
 	sent    int64
 	dropped int64
 	bytes   int64
+	// Chaos tallies, for tests and diagnostics.
+	duplicated int64
+	reordered  int64
+	replayed   int64
 }
 
 // NewTransport creates a transport. delay maps message size to one-way
@@ -86,6 +134,38 @@ func (t *Transport) Register(id NodeID) <-chan Envelope {
 	return ch
 }
 
+// Restart implements Net: revive a crashed node under its old identity with
+// a fresh, empty inbox. Deliveries still in flight toward the old inbox are
+// dropped — a rebooted machine does not receive what arrived while it was
+// down.
+func (t *Transport) Restart(id NodeID) <-chan Envelope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	delete(t.crashed, id)
+	ch := make(chan Envelope, inboxCap)
+	t.inboxes[id] = ch
+	return ch
+}
+
+// SetChaos turns on adversarial delivery: duplicated, reordered, and
+// replayed arrivals. Call it before the cluster starts sending.
+func (t *Transport) SetChaos(c Chaos) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.chaos = c.withDefaults()
+}
+
+// ChaosStats returns how many extra or delayed deliveries the chaos model
+// injected: (duplicated, reordered, replayed).
+func (t *Transport) ChaosStats() (duplicated, reordered, replayed int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.duplicated, t.reordered, t.replayed
+}
+
 // Crash marks id as halted: messages to and from it vanish.
 func (t *Transport) Crash(id NodeID) {
 	t.mu.Lock()
@@ -104,6 +184,8 @@ func (t *Transport) Crashed(id NodeID) bool {
 // endpoints, and full inboxes all drop silently — the asynchronous model of
 // §4 — but every message that vanishes is counted in Stats' dropped column,
 // so loss metrics see congestion and crash losses, not just injected loss.
+// Under a Chaos model a message may additionally be delivered twice, held
+// back so later sends overtake it, or replayed stale much later.
 func (t *Transport) Send(from, to NodeID, msg Message) {
 	t.mu.Lock()
 	if t.closed || t.crashed[from] || t.crashed[to] {
@@ -127,15 +209,43 @@ func (t *Transport) Send(from, to NodeID, msg Message) {
 	if t.delay != nil {
 		d = t.delay(msg.Size())
 	}
-	env := Envelope{From: from, Msg: msg}
-	if d <= 0 {
-		t.mu.Unlock()
-		t.deliver(ch, env, to)
-		return
+	var scratch [3]time.Duration
+	copies := scratch[:0]
+	first := d
+	if t.chaos.Reorder > 0 && t.rng.Float64() < t.chaos.Reorder {
+		// Held back: messages sent after this one can overtake it.
+		first += time.Duration(t.rng.Float64() * float64(t.chaos.ReorderWindow))
+		t.reordered++
 	}
-	// Delayed delivery: register the timer so Close can stop it — an
-	// untracked timer outlives the cluster and delivers into inboxes after
-	// teardown.
+	copies = append(copies, first)
+	if t.chaos.Duplicate > 0 && t.rng.Float64() < t.chaos.Duplicate {
+		copies = append(copies, d)
+		t.duplicated++
+	}
+	if t.chaos.Replay > 0 && t.rng.Float64() < t.chaos.Replay {
+		// A stale copy from the past surfaces long after both ends moved on.
+		copies = append(copies, t.chaos.ReplayDelay+time.Duration(t.rng.Float64()*float64(t.chaos.ReplayDelay)))
+		t.replayed++
+	}
+	env := Envelope{From: from, Msg: msg}
+	immediate := 0
+	for _, dc := range copies {
+		if dc <= 0 {
+			immediate++
+			continue
+		}
+		t.scheduleLocked(ch, env, to, dc)
+	}
+	t.mu.Unlock()
+	for i := 0; i < immediate; i++ {
+		t.deliver(ch, env, to)
+	}
+}
+
+// scheduleLocked registers one delayed delivery attempt; t.mu must be held.
+// The timer is tracked so Close can stop it — an untracked timer outlives
+// the cluster and delivers into inboxes after teardown.
+func (t *Transport) scheduleLocked(ch chan Envelope, env Envelope, to NodeID, d time.Duration) {
 	var tm *time.Timer
 	tm = time.AfterFunc(d, func() {
 		t.mu.Lock()
@@ -149,13 +259,16 @@ func (t *Transport) Send(from, to NodeID, msg Message) {
 		t.deliver(ch, env, to)
 	})
 	t.timers[tm] = struct{}{}
-	t.mu.Unlock()
 }
 
-// deliver hands env to the inbox unless the destination crashed meanwhile;
-// either way that the message vanishes, it is counted dropped.
+// deliver hands env to the inbox unless the destination crashed — or crashed
+// and was replaced by a restart's fresh inbox — meanwhile; either way that
+// the message vanishes, it is counted dropped.
 func (t *Transport) deliver(ch chan Envelope, env Envelope, to NodeID) {
-	if t.Crashed(to) {
+	t.mu.Lock()
+	stale := t.crashed[to] || t.inboxes[to] != ch
+	t.mu.Unlock()
+	if stale {
 		t.drop()
 		return
 	}

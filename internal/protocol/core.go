@@ -163,6 +163,24 @@ type Counters struct {
 	PeakPool      int // max active problems held at once
 }
 
+// Merge folds another tally into c, for drivers that accumulate event counts
+// across a process's crash-restart incarnations: counts add, PeakPool keeps
+// the maximum.
+func (c Counters) Merge(o Counters) Counters {
+	c.Expanded += o.Expanded
+	c.ReportsSent += o.ReportsSent
+	c.ReportCodes += o.ReportCodes
+	c.ReportedComps += o.ReportedComps
+	c.TablesSent += o.TablesSent
+	c.WorkRequests += o.WorkRequests
+	c.WorkSent += o.WorkSent
+	c.Recoveries += o.Recoveries
+	if o.PeakPool > c.PeakPool {
+		c.PeakPool = o.PeakPool
+	}
+	return c
+}
+
 // Core is the per-process protocol state machine. It is not safe for
 // concurrent use: the driver must serialize all calls (the simulator is
 // single-threaded by construction; the live runtime confines each Core to
@@ -184,6 +202,15 @@ type Core struct {
 
 	reqPending bool
 	failedReqs int
+	// poolKeys and keyBuf are scratch for the pooled-code guard: the key set
+	// of every code currently in the pool, rebuilt on demand when a grant or
+	// recovery adoption arrives. At-least-once delivery means the same code
+	// can reach this process twice — a duplicated grant, or a delayed grant
+	// racing the complement recovery that already re-created its region — and
+	// pooling it twice expands the whole subtree twice locally. The set lives
+	// only on those rare paths, so the push/pop hot path stays untouched.
+	poolKeys map[string]struct{}
+	keyBuf   []byte
 	// lastProgress is the last remote progress: a grant, or a novel
 	// report/table. remoteAct anchors the freshest evidence that some OTHER
 	// process was computing (merged from message ages); selfBusy anchors
@@ -562,18 +589,26 @@ func (c *Core) PlanRecovery() []code.Code {
 // resolvable, returning how many were re-created. Codes dominated by the
 // incumbent are eliminated at adoption — completed, not pooled — exactly as
 // OnExpanded eliminates dominated children at generation; re-created work
-// that cannot matter must not sit in the pool delaying termination.
+// that cannot matter must not sit in the pool delaying termination. Codes
+// already pooled — a grant that arrived between PlanRecovery and Adopt can
+// hold the very region the plan complements — are skipped, never doubled.
 func (c *Core) Adopt(cands []code.Code) int {
 	got := 0
+	pooled := c.poolSet()
 	for _, cd := range cands {
 		it, ok := c.d.Expander.Locate(cd)
 		if !ok || c.table.Contains(cd) {
+			continue
+		}
+		c.keyBuf = cd.EncodeInto(c.keyBuf)
+		if _, dup := pooled[string(c.keyBuf)]; dup {
 			continue
 		}
 		if c.cfg.Prune && it.Bound >= c.incumbent {
 			c.complete(cd)
 			continue
 		}
+		pooled[string(c.keyBuf)] = struct{}{}
 		c.pool.push(it)
 		got++
 	}
@@ -642,6 +677,26 @@ func (c *Core) merge(cs []code.Code) {
 	}
 }
 
+// poolSet rebuilds the pooled-code key set from the current pool contents.
+// It is called only on the rare paths that may re-introduce a code this
+// process already holds (work grants, recovery adoption); the scratch map
+// and key buffer are retained across calls so steady state allocates only
+// for map entries of codes actually present.
+func (c *Core) poolSet() map[string]struct{} {
+	if c.poolKeys == nil {
+		c.poolKeys = make(map[string]struct{}, c.pool.Len())
+	} else {
+		for k := range c.poolKeys {
+			delete(c.poolKeys, k)
+		}
+	}
+	for i := range c.pool.items {
+		c.keyBuf = c.pool.items[i].Code.EncodeInto(c.keyBuf)
+		c.poolKeys[string(c.keyBuf)] = struct{}{}
+	}
+	return c.poolKeys
+}
+
 // handleWorkRequest grants half the pool (up to MaxShare) if the process has
 // enough problems, else denies. A terminated process answers with the root
 // report so the requester can terminate too.
@@ -650,13 +705,17 @@ func (c *Core) handleWorkRequest(from NodeID) {
 		c.d.Sender.Send(from, Report{Codes: []code.Code{code.Root()}, Incumbent: c.incumbent, ActAge: c.ActivityAge()})
 		return
 	}
-	if c.pool.Len() < c.cfg.MinPoolToShare {
-		c.d.Sender.Send(from, WorkDeny{Incumbent: c.incumbent, ActAge: c.ActivityAge()})
-		return
-	}
 	k := c.pool.Len() / 2
 	if k > c.cfg.MaxShare {
 		k = c.cfg.MaxShare
+	}
+	if c.pool.Len() < c.cfg.MinPoolToShare || k == 0 {
+		// k == 0 covers MinPoolToShare == 1 with a single pooled problem:
+		// halving a singleton pool grants nothing, and an empty WorkGrant
+		// would count as a failed attempt at the requester where an honest
+		// WorkDeny resolves the probe immediately.
+		c.d.Sender.Send(from, WorkDeny{Incumbent: c.incumbent, ActAge: c.ActivityAge()})
+		return
 	}
 	codes := make([]code.Code, 0, k)
 	for i := 0; i < k; i++ {
@@ -669,8 +728,12 @@ func (c *Core) handleWorkRequest(from NodeID) {
 // handleGrant adopts transferred problems. Codes dominated by the incumbent
 // (the grant may have been cut before the granter learned of it) are
 // eliminated on arrival the same way OnExpanded eliminates dominated
-// children: completed and reported, never pooled. An all-eliminated grant
-// still counts as progress — the completions it produced will gossip.
+// children: completed and reported, never pooled. Codes already sitting in
+// the pool — a duplicated grant, or a delayed grant whose region complement
+// recovery re-created meanwhile — are dropped: at-least-once delivery must
+// not double-pool a code, or the subtree is expanded twice locally. An
+// all-eliminated grant still counts as progress — the completions it
+// produced will gossip.
 func (c *Core) handleGrant(g WorkGrant) Effect {
 	var eff Effect
 	if c.reqPending {
@@ -678,9 +741,14 @@ func (c *Core) handleGrant(g WorkGrant) Effect {
 		eff.Answered = true
 	}
 	got := 0
+	pooled := c.poolSet()
 	for _, cd := range g.Codes {
 		it, ok := c.d.Expander.Locate(cd)
 		if !ok || c.table.Contains(cd) {
+			continue
+		}
+		c.keyBuf = cd.EncodeInto(c.keyBuf)
+		if _, dup := pooled[string(c.keyBuf)]; dup {
 			continue
 		}
 		if c.cfg.Prune && it.Bound >= c.incumbent {
@@ -688,6 +756,7 @@ func (c *Core) handleGrant(g WorkGrant) Effect {
 			got++
 			continue
 		}
+		pooled[string(c.keyBuf)] = struct{}{}
 		c.pool.push(it)
 		got++
 	}
@@ -695,7 +764,12 @@ func (c *Core) handleGrant(g WorkGrant) Effect {
 	if got > 0 {
 		c.failedReqs = 0
 		c.lastProgress = c.d.Clock.Now()
-	} else {
+	} else if eff.Answered {
+		// Only an answer to this process's own outstanding request counts as
+		// a failed attempt. An unsolicited all-useless grant — stale, or a
+		// replayed duplicate of one already absorbed — must not make the
+		// driver pace a retry it never issued, nor push the process toward
+		// presuming failure.
 		c.failedReqs++
 		eff.Failed = true
 	}

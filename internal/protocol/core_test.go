@@ -408,6 +408,123 @@ func TestCoreAdoptEliminatesDominated(t *testing.T) {
 	}
 }
 
+// TestCoreGrantPooledCodeGuard is the double-pool regression test: a delayed
+// grant arriving after complement recovery already adopted the same region —
+// or a duplicated grant under at-least-once delivery — must not push a code
+// that is already sitting in the pool, or the whole subtree below it is
+// expanded twice locally.
+func TestCoreGrantPooledCodeGuard(t *testing.T) {
+	e := newEnv(t, 4, Config{}, []NodeID{1})
+	region := code.Root().Child(1, 0)
+
+	// Recovery re-created the region (the granter looked dead)...
+	if got := e.core.Adopt([]code.Code{region}); got != 1 {
+		t.Fatalf("Adopt re-created %d problems, want 1", got)
+	}
+	// ...and then the delayed grant for the very same region arrives.
+	e.core.HandleMessage(1, WorkGrant{Codes: []code.Code{region}})
+	if e.core.PoolLen() != 1 {
+		t.Fatalf("pool = %d after delayed grant for an adopted region, want 1", e.core.PoolLen())
+	}
+	// A duplicated copy of the grant changes nothing either.
+	e.core.HandleMessage(1, WorkGrant{Codes: []code.Code{region}})
+	if e.core.PoolLen() != 1 {
+		t.Fatalf("pool = %d after duplicated grant, want 1", e.core.PoolLen())
+	}
+	// And the mirror race: a grant pooled the region first, then a recovery
+	// planned before the grant arrived tries to adopt it.
+	other := code.Root().Child(1, 1)
+	e.core.HandleMessage(1, WorkGrant{Codes: []code.Code{other}})
+	if got := e.core.Adopt([]code.Code{other}); got != 0 {
+		t.Fatalf("Adopt re-created %d copies of a pooled code, want 0", got)
+	}
+	if e.core.PoolLen() != 2 {
+		t.Fatalf("pool = %d, want 2 (one per region)", e.core.PoolLen())
+	}
+	// Expanding to exhaustion must visit the depth-4 tree's 31 nodes exactly
+	// once: 2 region roots covering the whole tree, no double subtree.
+	expanded := map[string]int{}
+	for steps := 0; steps < 1<<10; steps++ {
+		it, st := e.core.Next()
+		if st != Expand {
+			break
+		}
+		expanded[it.Code.Key()]++
+		e.core.OnExpanded(it, e.tree.Outcome(it), 0.01)
+	}
+	for k, n := range expanded {
+		if n > 1 {
+			t.Fatalf("code %q expanded %d times", k, n)
+		}
+	}
+	if len(expanded) != 30 { // all 31 nodes minus the never-pooled root
+		t.Errorf("expanded %d distinct nodes, want 30", len(expanded))
+	}
+}
+
+// TestCoreSingletonPoolDenies: with MinPoolToShare 1 and a single pooled
+// problem, halving the pool yields k = 0 — the answer must be an honest
+// WorkDeny, not an empty WorkGrant the requester counts as a failed attempt.
+func TestCoreSingletonPoolDenies(t *testing.T) {
+	e := newEnv(t, 4, Config{MinPoolToShare: 1}, []NodeID{1})
+	it, _ := e.tree.Locate(code.Root().Child(1, 0))
+	e.core.Seed(it)
+	e.core.HandleMessage(2, WorkRequest{})
+	out := e.snd.take()
+	if len(out) != 1 {
+		t.Fatalf("want one answer, got %d messages", len(out))
+	}
+	if g, bad := out[0].m.(WorkGrant); bad {
+		t.Fatalf("singleton pool answered with a WorkGrant of %d codes, want WorkDeny", len(g.Codes))
+	}
+	if _, ok := out[0].m.(WorkDeny); !ok {
+		t.Fatalf("answer = %T, want WorkDeny", out[0].m)
+	}
+	if e.core.PoolLen() != 1 {
+		t.Errorf("pool = %d, the singleton must stay", e.core.PoolLen())
+	}
+	// With two pooled problems the same config grants one.
+	it2, _ := e.tree.Locate(code.Root().Child(1, 1))
+	e.core.Seed(it2)
+	e.core.HandleMessage(2, WorkRequest{})
+	out = e.snd.take()
+	if g, ok := out[0].m.(WorkGrant); !ok || len(g.Codes) != 1 {
+		t.Fatalf("answer = %+v, want a 1-code WorkGrant", out[0].m)
+	}
+}
+
+// TestCoreUnsolicitedGrantNotFailed: an unsolicited (or stale, replayed)
+// grant carrying nothing usable must not flag Effect.Failed — the driver
+// would pace a retry for a request it never issued — while the same grant
+// answering a live request still counts as a failed attempt.
+func TestCoreUnsolicitedGrantNotFailed(t *testing.T) {
+	e := newEnv(t, 4, Config{Prune: true}, []NodeID{1})
+	e.core.HandleMessage(1, Report{Incumbent: 10}) // dominates every fakeTree bound
+	useless := WorkGrant{Codes: nil, Incumbent: 10}
+
+	// No request outstanding: not answered, not failed, no failure counted.
+	eff := e.core.HandleMessage(1, useless)
+	if eff.Answered || eff.Failed {
+		t.Fatalf("unsolicited useless grant effect = %+v, want neither flag", eff)
+	}
+	if e.core.failedReqs != 0 {
+		t.Fatalf("failedReqs = %d after unsolicited grant, want 0", e.core.failedReqs)
+	}
+
+	// The same grant resolving an outstanding request is a failed attempt.
+	if dec := e.core.Starve(); dec != StarveRequested {
+		t.Fatalf("starve = %v, want StarveRequested", dec)
+	}
+	e.snd.take()
+	eff = e.core.HandleMessage(1, useless)
+	if !eff.Answered || !eff.Failed {
+		t.Fatalf("answered useless grant effect = %+v, want Answered+Failed", eff)
+	}
+	if e.core.failedReqs != 1 {
+		t.Fatalf("failedReqs = %d after answered useless grant, want 1", e.core.failedReqs)
+	}
+}
+
 func TestCoreActivityAgeDiffusion(t *testing.T) {
 	e := newEnv(t, 3, Config{}, []NodeID{1})
 	// With work in the pool the process is active: age 0.

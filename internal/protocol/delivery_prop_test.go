@@ -1,0 +1,127 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gossipbnb/internal/code"
+)
+
+// Delivery-layer idempotence and commutativity: the asynchronous model of §4
+// permits duplicated and reordered delivery, so the observable protocol
+// state a trace of messages produces — the completion table, the incumbent,
+// and whether termination is detected — must not depend on how the transport
+// mangled the trace. (The pool is deliberately NOT compared: reordering a
+// report past a grant legitimately changes whether a granted code is pooled
+// or suppressed; what must be invariant is the completed work.)
+
+// randCode draws a random fakeTree code of depth 0..depth.
+func randCode(r *rand.Rand, depth int) code.Code {
+	d := r.Intn(depth + 1)
+	c := code.Root()
+	for i := 0; i < d; i++ {
+		c = c.Child(uint32(i+1), uint8(r.Intn(2)))
+	}
+	return c
+}
+
+// randTrace builds a random message trace over the fakeTree vocabulary.
+// Root reports (the termination broadcast) are rare but present, so the
+// property also covers the termination outcome.
+func randTrace(r *rand.Rand, depth, n int) []Msg {
+	msgs := make([]Msg, 0, n)
+	for i := 0; i < n; i++ {
+		inc := 90 + 20*r.Float64()
+		age := 5 * r.Float64()
+		codes := func() []code.Code {
+			cs := make([]code.Code, 1+r.Intn(3))
+			for j := range cs {
+				cs[j] = randCode(r, depth)
+			}
+			return cs
+		}
+		switch r.Intn(10) {
+		case 0, 1, 2:
+			msgs = append(msgs, Report{Codes: codes(), Incumbent: inc, ActAge: age})
+		case 3:
+			msgs = append(msgs, TableMsg{Codes: codes(), Incumbent: inc, ActAge: age})
+		case 4, 5:
+			msgs = append(msgs, WorkGrant{Codes: codes(), Incumbent: inc, ActAge: age})
+		case 6:
+			msgs = append(msgs, WorkDeny{Incumbent: inc, ActAge: age})
+		case 7, 8:
+			msgs = append(msgs, WorkRequest{Incumbent: inc, ActAge: age})
+		case 9:
+			msgs = append(msgs, Report{Codes: []code.Code{code.Root()}, Incumbent: inc, ActAge: age})
+		}
+	}
+	return msgs
+}
+
+// observe delivers a trace to a fresh core and returns the observable state:
+// the contracted table frontier, the incumbent, and the termination outcome.
+func observe(t *testing.T, depth int, trace []Msg) (table string, incumbent float64, complete bool) {
+	t.Helper()
+	e := newEnv(t, depth, Config{}, []NodeID{1})
+	// Give the core a little work so grant answers have something to steal
+	// from; the pool is not part of the compared state.
+	e.core.Seed(e.tree.Root())
+	for _, m := range trace {
+		e.core.HandleMessage(1, m)
+	}
+	var buf []byte
+	for _, c := range e.core.Table().Codes() {
+		buf = c.Append(buf)
+	}
+	return string(buf), e.core.Incumbent(), e.core.Table().Complete()
+}
+
+// TestPropDupReorderDeliveryInvariant: for random message traces, delivering
+// any prefix with each message duplicated k∈{1,2,3} times and random
+// adjacent pairs swapped yields an identical table, incumbent, and
+// termination outcome.
+func TestPropDupReorderDeliveryInvariant(t *testing.T) {
+	const depth = 5
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		trace := randTrace(r, depth, 4+r.Intn(28))
+		prefix := trace[:r.Intn(len(trace)+1)]
+
+		// Mangle: duplicate each message k∈{1,2,3} times...
+		mangled := make([]Msg, 0, 3*len(prefix))
+		for _, m := range prefix {
+			for k := 1 + r.Intn(3); k > 0; k-- {
+				mangled = append(mangled, m)
+			}
+		}
+		// ...then swap random adjacent pairs (several passes of local
+		// transpositions — bounded reordering).
+		for pass := 0; pass < 3; pass++ {
+			for i := 1; i < len(mangled); i++ {
+				if r.Intn(2) == 1 {
+					mangled[i-1], mangled[i] = mangled[i], mangled[i-1]
+				}
+			}
+		}
+
+		wantTable, wantInc, wantDone := observe(t, depth, prefix)
+		gotTable, gotInc, gotDone := observe(t, depth, mangled)
+		if gotTable != wantTable {
+			t.Logf("seed %d: table diverged under dup+reorder", seed)
+			return false
+		}
+		if gotInc != wantInc {
+			t.Logf("seed %d: incumbent %g vs %g", seed, gotInc, wantInc)
+			return false
+		}
+		if gotDone != wantDone {
+			t.Logf("seed %d: termination %v vs %v", seed, gotDone, wantDone)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

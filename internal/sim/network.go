@@ -35,28 +35,43 @@ type partition struct {
 
 // NetStats aggregates network activity.
 type NetStats struct {
-	Sent      int64 // messages handed to the network
-	Delivered int64
-	Lost      int64 // dropped by the loss model
-	Cut       int64 // dropped by a partition
-	ToDead    int64 // addressed to a crashed node
-	Bytes     int64 // payload bytes of sent messages
+	Sent       int64 // messages handed to the network
+	Delivered  int64
+	Lost       int64 // dropped by the loss model
+	Cut        int64 // dropped by a partition
+	ToDead     int64 // addressed to a crashed node
+	Bytes      int64 // payload bytes of sent messages
+	Duplicated int64 // extra copies injected by the duplication model
+	Reordered  int64 // messages held back by the reordering model
+	Replayed   int64 // stale copies injected by the replay model
 }
 
 // Network delivers messages between registered nodes under a latency model,
 // optional uniform loss, crash failures, and temporary partitions — the
-// target-architecture assumptions of §4: unbounded delivery time, possible
-// loss, no corruption or duplication.
+// target-architecture assumptions of §4: unbounded delivery time and
+// possible loss. §4 additionally permits duplicated and arbitrarily
+// reordered delivery; SetDuplicate, SetReorder and SetReplay turn those on,
+// widening the default well-behaved network into the full adversarial model.
 type Network struct {
-	k         *Kernel
-	latency   LatencyModel
-	lossProb  float64
-	handlers  map[NodeID]Handler
-	crashed   map[NodeID]bool
-	parts     []partition
-	stats     NetStats
-	sentBytes map[NodeID]int64 // per-sender payload bytes
-	sentMsgs  map[NodeID]int64
+	k        *Kernel
+	latency  LatencyModel
+	lossProb float64
+	// dupProb injects an independent extra copy of a message, delivered
+	// after its own fresh latency draw. reorderProb holds a message back by
+	// up to reorderWindow extra seconds, letting later sends overtake it
+	// (bounded reordering). replayProb re-delivers a stale copy roughly
+	// replayDelay seconds later — a message from the system's past.
+	dupProb       float64
+	reorderProb   float64
+	reorderWindow float64
+	replayProb    float64
+	replayDelay   float64
+	handlers      map[NodeID]Handler
+	crashed       map[NodeID]bool
+	parts         []partition
+	stats         NetStats
+	sentBytes     map[NodeID]int64 // per-sender payload bytes
+	sentMsgs      map[NodeID]int64
 }
 
 // NewNetwork creates a network on k with the given latency model.
@@ -77,10 +92,51 @@ func NewNetwork(k *Kernel, latency LatencyModel) *Network {
 
 // SetLoss sets the independent per-message loss probability.
 func (n *Network) SetLoss(p float64) {
-	if p < 0 || p > 1 {
-		panic(fmt.Sprintf("sim: loss probability %g out of [0,1]", p))
+	n.lossProb = checkProb("loss", p)
+}
+
+// SetDuplicate sets the independent probability that a message is delivered
+// twice. The duplicate is scheduled with its own base-latency delay, so when
+// the original was held back by the reordering model the copies arrive in
+// either order; under a plain deterministic latency model the duplicate
+// follows the original.
+func (n *Network) SetDuplicate(p float64) {
+	n.dupProb = checkProb("duplicate", p)
+}
+
+// SetReorder sets the independent probability that a message is held back by
+// up to window extra seconds of delay, so messages sent later can overtake
+// it — bounded reordering. window <= 0 picks 10× the base latency of an
+// empty message, floored at 10 ms so the knob still reorders under a
+// zero-latency model.
+func (n *Network) SetReorder(p, window float64) {
+	n.reorderProb = checkProb("reorder", p)
+	if window <= 0 {
+		window = 10 * n.latency(0)
+		if window <= 0 {
+			window = 0.01
+		}
 	}
-	n.lossProb = p
+	n.reorderWindow = window
+}
+
+// SetReplay sets the independent probability that a message is re-delivered
+// once more between delay and 2·delay seconds after the original send — a
+// stale copy from the system's past, long after both ends moved on.
+// delay <= 0 means 1 second.
+func (n *Network) SetReplay(p, delay float64) {
+	n.replayProb = checkProb("replay", p)
+	if delay <= 0 {
+		delay = 1
+	}
+	n.replayDelay = delay
+}
+
+func checkProb(what string, p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("sim: %s probability %g out of [0,1]", what, p))
+	}
+	return p
 }
 
 // Register installs the message handler for id. Registering twice panics —
@@ -93,9 +149,16 @@ func (n *Network) Register(id NodeID, h Handler) {
 }
 
 // Crash marks id as halted (the Crash failure model of §4: a processor fails
-// by halting and stays halted). Messages to and from it vanish; its handler
-// never runs again.
+// by halting). Messages to and from it vanish; its handler does not run
+// again unless the node is restored.
 func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+
+// Restore clears id's crashed mark: the process rebooted and rejoined under
+// its old identity. Messages sent to it while it was down stay lost, but a
+// message already in flight whose delivery time falls after the restore is
+// delivered — the wire does not know the process was ever away, which is
+// exactly the stale-delivery hazard a restarted process must tolerate.
+func (n *Network) Restore(id NodeID) { delete(n.crashed, id) }
 
 // Crashed reports whether id has halted.
 func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
@@ -141,6 +204,27 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 		return
 	}
 	delay := n.latency(sz)
+	if n.reorderProb > 0 && n.k.Rand().Float64() < n.reorderProb {
+		// Held back: messages sent after this one can overtake it.
+		delay += n.k.Rand().Float64() * n.reorderWindow
+		n.stats.Reordered++
+	}
+	n.schedule(from, to, msg, delay)
+	if n.dupProb > 0 && n.k.Rand().Float64() < n.dupProb {
+		// The duplicate draws its own latency, so the copies race.
+		n.stats.Duplicated++
+		n.schedule(from, to, msg, n.latency(sz))
+	}
+	if n.replayProb > 0 && n.k.Rand().Float64() < n.replayProb {
+		// A stale copy surfaces much later — a retransmit buffer flushing, a
+		// route flap healing — when the system has long moved past it.
+		n.stats.Replayed++
+		n.schedule(from, to, msg, n.replayDelay*(1+n.k.Rand().Float64()))
+	}
+}
+
+// schedule queues one delivery attempt of msg after delay.
+func (n *Network) schedule(from, to NodeID, msg Message, delay float64) {
 	n.k.After(delay, func() {
 		// Re-check at delivery time: the destination may have crashed, or a
 		// partition may have formed, while the message was in flight. A

@@ -340,3 +340,133 @@ func BenchmarkKernelThroughput(b *testing.B) {
 	b.ResetTimer()
 	k.Run(math.Inf(1))
 }
+
+func TestRestoreRevivesDelivery(t *testing.T) {
+	k := New(1)
+	nw := NewNetwork(k, nil)
+	got := 0
+	nw.Register(1, func(from NodeID, msg Message) { got++ })
+	nw.Crash(1)
+	nw.Send(0, 1, payload(1)) // down: vanishes
+	k.At(5, func() { nw.Restore(1) })
+	k.At(6, func() { nw.Send(0, 1, payload(1)) }) // back: delivered
+	k.Run(math.Inf(1))
+	if nw.Crashed(1) {
+		t.Error("Crashed(1) after Restore")
+	}
+	if got != 1 {
+		t.Errorf("delivered %d messages, want 1 (only the post-restore send)", got)
+	}
+	st := nw.Stats()
+	if st.ToDead != 1 || st.Delivered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRestoreDeliversInFlightStale(t *testing.T) {
+	// A message in flight across a crash+restore window is delivered: the
+	// wire does not know the process was away. The restarted process must
+	// tolerate this stale delivery.
+	k := New(1)
+	nw := NewNetwork(k, LinearLatency(10, 0)) // 10 s in flight
+	got := 0
+	nw.Register(1, func(from NodeID, msg Message) { got++ })
+	nw.Send(0, 1, payload(1)) // arrives at t=10
+	k.At(2, func() { nw.Crash(1) })
+	k.At(5, func() { nw.Restore(1) })
+	k.Run(math.Inf(1))
+	if got != 1 {
+		t.Errorf("stale in-flight message delivered %d times, want 1", got)
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	k := New(3)
+	nw := NewNetwork(k, nil)
+	nw.SetDuplicate(1)
+	got := 0
+	nw.Register(1, func(from NodeID, msg Message) { got++ })
+	const n = 50
+	for i := 0; i < n; i++ {
+		nw.Send(0, 1, payload(1))
+	}
+	k.Run(math.Inf(1))
+	if got != 2*n {
+		t.Errorf("delivered %d, want %d (every message duplicated)", got, 2*n)
+	}
+	st := nw.Stats()
+	if st.Duplicated != n || st.Sent != n {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReorderIsBoundedAndReorders(t *testing.T) {
+	k := New(7)
+	nw := NewNetwork(k, LinearLatency(1e-3, 0))
+	nw.SetReorder(0.5, 0.05)
+	var order []int
+	nw.Register(1, func(from NodeID, msg Message) { order = append(order, int(msg.Size())) })
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		k.At(float64(i)*1e-3, func() { nw.Send(0, 1, payload(i)) })
+	}
+	end := k.Run(math.Inf(1))
+	if len(order) != n {
+		t.Fatalf("delivered %d of %d", len(order), n)
+	}
+	swapped := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			swapped++
+		}
+	}
+	if swapped == 0 {
+		t.Error("no reordering observed at p=0.5")
+	}
+	// Bounded: the last send is at (n-1) ms; nothing may arrive later than
+	// send + latency + window.
+	if maxEnd := float64(n-1)*1e-3 + 1e-3 + 0.05; end > maxEnd+1e-9 {
+		t.Errorf("delivery at %g exceeds the reorder bound %g", end, maxEnd)
+	}
+	if st := nw.Stats(); st.Reordered == 0 {
+		t.Error("Reordered counter stayed zero")
+	}
+}
+
+func TestReplayDeliversStaleCopy(t *testing.T) {
+	k := New(9)
+	nw := NewNetwork(k, nil)
+	nw.SetReplay(1, 10)
+	var times []float64
+	nw.Register(1, func(from NodeID, msg Message) { times = append(times, k.Now()) })
+	nw.Send(0, 1, payload(1))
+	k.Run(math.Inf(1))
+	if len(times) != 2 {
+		t.Fatalf("delivered %d times, want original + replay", len(times))
+	}
+	if times[1] < 10 || times[1] > 20 {
+		t.Errorf("replay arrived at %g, want within [10, 20]", times[1])
+	}
+	if st := nw.Stats(); st.Replayed != 1 {
+		t.Errorf("Replayed = %d", st.Replayed)
+	}
+}
+
+func TestChaosProbabilityValidation(t *testing.T) {
+	nw := NewNetwork(New(1), nil)
+	for _, f := range []func(){
+		func() { nw.SetDuplicate(-0.1) },
+		func() { nw.SetReorder(1.5, 1) },
+		func() { nw.SetReplay(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range probability accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
