@@ -10,8 +10,17 @@
 // With -baseline, the fresh snapshot is compared entry-by-entry against a
 // committed baseline and a per-benchmark ratio table is printed to stderr
 // (the JSON still goes to stdout). Wall-clock ratios move with hardware, so
-// CI treats the table as informational; allocs/op is hardware-independent
+// the table is informational by default; allocs/op is hardware-independent
 // and is the number to watch.
+//
+// With -gate (requires -baseline), the comparison becomes a CI gate: the
+// command exits non-zero when any benchmark regresses past a threshold —
+// allocs/op ratio above -gate-allocs (default 1.5), or ns/op ratio above
+// -gate-ns (default 1.5) for benchmarks whose baseline is at least
+// -gate-min-ns (default 50 ms; shorter benches are one-iteration timing
+// noise, so only their allocations are gated). A benchmark present in the
+// baseline but missing from the run also fails the gate: silently dropping
+// a benchmark must not pass.
 package main
 
 import (
@@ -52,7 +61,15 @@ var (
 
 func main() {
 	baseline := flag.String("baseline", "", "committed snapshot JSON to compare against (ratio table on stderr)")
+	gate := flag.Bool("gate", false, "exit non-zero when any benchmark regresses past the -gate-* thresholds (requires -baseline)")
+	gateNs := flag.Float64("gate-ns", 1.5, "max allowed ns/op ratio vs baseline")
+	gateAllocs := flag.Float64("gate-allocs", 1.5, "max allowed allocs/op ratio vs baseline")
+	gateMinNs := flag.Float64("gate-min-ns", 50e6, "skip the ns/op gate for benchmarks whose baseline ns/op is below this")
 	flag.Parse()
+	if *gate && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchsnap: -gate requires -baseline")
+		os.Exit(2)
+	}
 
 	snap := Snapshot{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -97,8 +114,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	var violations []string
 	if *baseline != "" {
-		if err := compare(os.Stderr, snap, *baseline); err != nil {
+		var err error
+		violations, err = compare(os.Stderr, snap, *baseline, gateThresholds{
+			ns: *gateNs, allocs: *gateAllocs, minNs: *gateMinNs,
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchsnap:", err)
 			os.Exit(1)
 		}
@@ -109,24 +131,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
+	if *gate && len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: bench gate FAILED (%d violation(s)):\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(3)
+	}
+}
+
+// gateThresholds are the regression limits the gate enforces.
+type gateThresholds struct {
+	ns     float64 // max ns/op ratio
+	allocs float64 // max allocs/op ratio
+	minNs  float64 // baseline ns/op floor below which the ns gate is skipped
 }
 
 // compare prints a per-benchmark ratio table of the fresh snapshot against
-// the committed baseline: ratio < 1 means the fresh run is better (faster,
-// fewer allocations).
-func compare(w *os.File, snap Snapshot, path string) error {
+// the committed baseline (ratio < 1 means the fresh run is better: faster,
+// fewer allocations) and returns the list of gate violations under th.
+func compare(w *os.File, snap Snapshot, path string, th gateThresholds) ([]string, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var base Snapshot
 	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("parse %s: %w", path, err)
+		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
 	byName := make(map[string]Bench, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		byName[b.Name] = b
 	}
+	var violations []string
 	fmt.Fprintf(w, "--- vs %s (ratio this/baseline; <1 is better; ns ratios move with hardware, allocs do not) ---\n", path)
 	fmt.Fprintf(w, "%-44s %14s %12s %14s %12s\n", "benchmark", "ns/op", "ns ratio", "allocs/op", "alloc ratio")
 	seen := make(map[string]bool, len(snap.Benchmarks))
@@ -139,27 +176,46 @@ func compare(w *os.File, snap Snapshot, path string) error {
 		}
 		nsRatio := "n/a"
 		if old.NsPerOp > 0 {
-			nsRatio = fmt.Sprintf("%.2f", b.NsPerOp/old.NsPerOp)
+			r := b.NsPerOp / old.NsPerOp
+			nsRatio = fmt.Sprintf("%.2f", r)
+			if r > th.ns && old.NsPerOp >= th.minNs {
+				violations = append(violations, fmt.Sprintf(
+					"%s: ns/op ratio %.2f exceeds %.2f (%.0f → %.0f)", b.Name, r, th.ns, old.NsPerOp, b.NsPerOp))
+			}
 		}
 		// -1 means the run lacked -benchmem; a measured 0 is real data, and a
 		// 0 → N move is precisely the regression the table exists to show.
 		allocRatio := "n/a"
 		switch {
 		case old.AllocsPerOp > 0 && b.AllocsPerOp >= 0:
-			allocRatio = fmt.Sprintf("%.2f", float64(b.AllocsPerOp)/float64(old.AllocsPerOp))
+			r := float64(b.AllocsPerOp) / float64(old.AllocsPerOp)
+			allocRatio = fmt.Sprintf("%.2f", r)
+			if r > th.allocs {
+				violations = append(violations, fmt.Sprintf(
+					"%s: allocs/op ratio %.2f exceeds %.2f (%d → %d)", b.Name, r, th.allocs, old.AllocsPerOp, b.AllocsPerOp))
+			}
 		case old.AllocsPerOp == 0 && b.AllocsPerOp > 0:
 			allocRatio = "+inf"
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op regressed from 0 to %d", b.Name, b.AllocsPerOp))
 		case old.AllocsPerOp == 0 && b.AllocsPerOp == 0:
 			allocRatio = "1.00"
+		case old.AllocsPerOp >= 0 && b.AllocsPerOp < 0:
+			// The baseline has allocation data but this run was made without
+			// -benchmem. Letting that pass would silently disable the
+			// machine-independent half of the gate.
+			violations = append(violations, fmt.Sprintf(
+				"%s: baseline has allocs/op but this run measured none (missing -benchmem?)", b.Name))
 		}
 		fmt.Fprintf(w, "%-44s %14.0f %12s %14s %12s\n", b.Name, b.NsPerOp, nsRatio, allocs(b), allocRatio)
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
 			fmt.Fprintf(w, "%-44s %43s\n", b.Name, "MISSING from this run")
+			violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from this run", b.Name))
 		}
 	}
-	return nil
+	return violations, nil
 }
 
 func allocs(b Bench) string {

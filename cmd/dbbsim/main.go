@@ -19,6 +19,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -60,7 +62,11 @@ func (c *crashList) Set(s string) error {
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body behind an exit code, so the profile-finalizing defers
+// complete before the process exits.
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("dbbsim: ")
 	var crashes crashList
@@ -81,9 +87,55 @@ func main() {
 		dup      = flag.Float64("dup", 0, "message duplication probability")
 		reorder  = flag.Float64("reorder", 0, "message reordering probability (bounded hold-back)")
 		replay   = flag.Float64("replay", 0, "stale-replay probability (~1 s late)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	)
 	flag.Var(&crashes, "crash", "crash a process: TIME:NODE, or TIME:NODE:RESTART to reboot it (repeatable)")
 	flag.Parse()
+
+	// Profiling hooks, so hot-path work on the simulator starts from a
+	// profile of a real scenario instead of a guess. Profiles are finalized
+	// before the exit-code decision (os.Exit skips defers), so: both files
+	// are created — fatally — before any profiling starts, and the deferred
+	// finalizers only log.Print, never log.Fatal, lest one finalizer's
+	// failure truncate the other profile.
+	var cpuFile, memFile *os.File
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpuFile = f
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		memFile = f
+	}
+	if cpuFile != nil {
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+	if memFile != nil {
+		defer func() {
+			runtime.GC() // up-to-date live-heap statistics
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				log.Print(err)
+			}
+			if err := memFile.Close(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	var lg *trace.Log
 	if *gantt {
@@ -159,6 +211,7 @@ func main() {
 		lg.Gantt(os.Stdout, 100)
 	}
 	if !res.Terminated {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

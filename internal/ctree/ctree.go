@@ -28,7 +28,7 @@ package ctree
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"gossipbnb/internal/code"
 )
@@ -374,7 +374,10 @@ func (t *Table) InsertAll(cs []code.Code) (changed int, errs int) {
 		return 0, 0
 	}
 	t.sortBuf = append(t.sortBuf[:0], cs...)
-	sort.Slice(t.sortBuf, func(i, j int) bool { return prefixLess(t.sortBuf[i], t.sortBuf[j]) })
+	// slices.SortFunc, not sort.Slice: the reflection-based sorter allocates
+	// a Swapper closure per call, and InsertAll runs once per received
+	// report/table/grant — tens of thousands of times in a big run.
+	slices.SortFunc(t.sortBuf, prefixCmp)
 	var prev code.Code
 	valid := 0
 	for _, c := range t.sortBuf {
@@ -398,7 +401,10 @@ func (t *Table) InsertAll(cs []code.Code) (changed int, errs int) {
 // prefixLess orders codes so that codes sharing a prefix are adjacent and
 // every ancestor precedes its descendants: decision-wise, ties to the
 // shorter code.
-func prefixLess(a, b code.Code) bool {
+func prefixLess(a, b code.Code) bool { return prefixCmp(a, b) < 0 }
+
+// prefixCmp is the three-way form of the decision-prefix order.
+func prefixCmp(a, b code.Code) int {
 	n := len(a)
 	if len(b) < n {
 		n = len(b)
@@ -406,12 +412,18 @@ func prefixLess(a, b code.Code) bool {
 	for i := 0; i < n; i++ {
 		if a[i] != b[i] {
 			if a[i].Var != b[i].Var {
-				return a[i].Var < b[i].Var
+				if a[i].Var < b[i].Var {
+					return -1
+				}
+				return 1
 			}
-			return a[i].Branch < b[i].Branch
+			if a[i].Branch < b[i].Branch {
+				return -1
+			}
+			return 1
 		}
 	}
-	return len(a) < len(b)
+	return len(a) - len(b)
 }
 
 // commonPrefixLen returns the length of the longest common decision prefix.

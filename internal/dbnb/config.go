@@ -162,6 +162,11 @@ type Config struct {
 
 	// Trace, if non-nil, records per-process activity spans (Figures 5/6).
 	Trace *trace.Log
+
+	// fireHook, if non-nil, observes every kernel event's (time, seq) as it
+	// fires. Test-only: the golden event-order tests hash this stream to
+	// prove a kernel rewrite preserves the exact firing order of seeded runs.
+	fireHook func(t float64, seq uint64)
 }
 
 // withDefaults fills unset fields with the defaults used throughout the

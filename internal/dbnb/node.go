@@ -1,6 +1,7 @@
 package dbnb
 
 import (
+	"gossipbnb/internal/code"
 	"gossipbnb/internal/metrics"
 	"gossipbnb/internal/protocol"
 	"gossipbnb/internal/sim"
@@ -43,11 +44,32 @@ type node struct {
 	cntPrior protocol.Counters
 
 	reqWaiting bool // pacing delay between failed load-balancing attempts
-	reqTimer   *sim.Event
+	reqTimer   sim.Event
 	// reportTimer and tableTimer are the pending periodic ticks, cancelled at
 	// crash so a restart can restagger fresh chains without doubling them.
-	reportTimer *sim.Event
-	tableTimer  *sim.Event
+	reportTimer sim.Event
+	tableTimer  sim.Event
+
+	// Pre-bound callbacks, created once per node: scheduling through them
+	// (plus AfterArg's incarnation argument) costs zero allocations per
+	// event, where a per-schedule closure or method value would allocate.
+	// The busy-period callbacks read their inputs from the pend* fields
+	// below — safe because the busy flag admits at most one outstanding
+	// busy period per incarnation, and a stale fire from a dead incarnation
+	// bails on the incarnation check before touching them.
+	reportTickFn  func()
+	tableTickFn   func()
+	expandDoneFn  func(int)
+	drainDoneFn   func(int)
+	recoverDoneFn func(int)
+	paceDoneFn    func(int)
+	reqTimeoutFn  func(int)
+
+	pendItem     protocol.Item // expansion in flight
+	pendStart    float64       // busy-period start (expand/drain/recover)
+	pendComm     float64       // drain: modeled communication cost
+	pendContract float64       // drain: modeled contraction cost
+	pendPlan     []code.Code   // recovery plan awaiting adoption
 
 	tableOps  int     // sampling counter for storage observation
 	idleStart float64 // <0 when not idle
@@ -82,6 +104,13 @@ func (s nodeSender) Send(to protocol.NodeID, m protocol.Msg) {
 
 func newNode(id sim.NodeID, h *harness) *node {
 	n := &node{id: id, h: h, exp: h.w.newExpander(), idleStart: -1, met: &h.met.Nodes[id]}
+	n.reportTickFn = n.reportTick
+	n.tableTickFn = n.tableTick
+	n.expandDoneFn = n.expandDone
+	n.drainDoneFn = n.drainDone
+	n.recoverDoneFn = n.recoverDone
+	n.paceDoneFn = n.paceDone
+	n.reqTimeoutFn = n.reqTimeout
 	n.initCore()
 	return n
 }
@@ -174,28 +203,34 @@ func (n *node) loop() {
 }
 
 // expand pays the workload's modeled node cost, then reports the branching
-// outcome the expander computes to the core.
+// outcome the expander computes to the core. The in-flight item rides in
+// pendItem/pendStart rather than a capture closure — the busy flag admits
+// only one expansion per incarnation, and expandDone discards stale fires
+// from dead incarnations before reading them.
 func (n *node) expand(it protocol.Item) {
 	cost := n.h.w.costOf(it) * n.h.cfg.CostFactor
 	n.busy = true
-	start := n.h.k.Now()
-	gen := n.incarn
-	n.h.k.After(cost, func() {
-		if n.incarn != gen {
-			return // the node was reborn; this expansion died with its incarnation
-		}
-		n.busy = false
-		if n.crashed {
-			return
-		}
-		now := n.h.k.Now()
-		n.met.Add(metrics.BB, now-start)
-		n.h.cfg.Trace.Add(int(n.id), trace.Compute, start, now)
-		n.met.Expanded++
-		n.h.noteExpansion(n, it.Code)
-		n.core.OnExpanded(it, n.exp.Outcome(it), now-start)
-		n.loop()
-	})
+	n.pendItem = it
+	n.pendStart = n.h.k.Now()
+	n.h.k.AfterArg(cost, n.expandDoneFn, n.incarn)
+}
+
+func (n *node) expandDone(gen int) {
+	if n.incarn != gen {
+		return // the node was reborn; this expansion died with its incarnation
+	}
+	n.busy = false
+	if n.crashed {
+		return
+	}
+	it, start := n.pendItem, n.pendStart
+	now := n.h.k.Now()
+	n.met.Add(metrics.BB, now-start)
+	n.h.cfg.Trace.Add(int(n.id), trace.Compute, start, now)
+	n.met.Expanded++
+	n.h.noteExpansion(n, it.Code)
+	n.core.OnExpanded(it, n.exp.Outcome(it), now-start)
+	n.loop()
 }
 
 // --- reporting timers ---------------------------------------------------------
@@ -210,7 +245,7 @@ func (n *node) reportTick() {
 	if n.core.ReportOverdue() {
 		n.core.FlushReport()
 	}
-	n.reportTimer = n.h.k.After(n.h.cfg.ReportTimeout, n.reportTick)
+	n.reportTimer = n.h.k.After(n.h.cfg.ReportTimeout, n.reportTickFn)
 }
 
 // tableTick occasionally pushes the full table to one random member.
@@ -223,7 +258,7 @@ func (n *node) tableTick() {
 		to := peers[n.h.k.Rand().Intn(len(peers))]
 		n.core.SendTable(protocol.NodeID(to))
 	}
-	n.tableTimer = n.h.k.After(n.h.cfg.TableInterval, n.tableTick)
+	n.tableTimer = n.h.k.After(n.h.cfg.TableInterval, n.tableTickFn)
 }
 
 // --- load balancing and recovery ---------------------------------------------
@@ -235,16 +270,9 @@ func (n *node) requestWork() {
 	if n.dead() || n.reqWaiting || n.busy {
 		return
 	}
-	gen := n.incarn
 	switch n.core.Starve() {
 	case protocol.StarveRequested:
-		n.reqTimer = n.h.k.After(n.h.cfg.RequestTimeout, func() {
-			if n.incarn != gen || n.dead() {
-				return
-			}
-			n.core.RequestFailed()
-			n.paceRetry()
-		})
+		n.reqTimer = n.h.k.AfterArg(n.h.cfg.RequestTimeout, n.reqTimeoutFn, n.incarn)
 	case protocol.StarveRecover:
 		n.recover()
 	case protocol.StarveWait:
@@ -256,22 +284,33 @@ func (n *node) requestWork() {
 	}
 }
 
+// reqTimeout fires when a work-request answer is overdue; gen is the
+// incarnation that issued the request.
+func (n *node) reqTimeout(gen int) {
+	if n.incarn != gen || n.dead() {
+		return
+	}
+	n.core.RequestFailed()
+	n.paceRetry()
+}
+
 // paceRetry spaces failed load-balancing attempts RetryDelay apart.
 func (n *node) paceRetry() {
 	if n.reqWaiting {
 		return
 	}
 	n.reqWaiting = true
-	gen := n.incarn
-	n.h.k.After(n.h.cfg.RetryDelay, func() {
-		if n.incarn != gen {
-			return
-		}
-		n.reqWaiting = false
-		if !n.dead() && !n.busy {
-			n.loop()
-		}
-	})
+	n.h.k.AfterArg(n.h.cfg.RetryDelay, n.paceDoneFn, n.incarn)
+}
+
+func (n *node) paceDone(gen int) {
+	if n.incarn != gen {
+		return
+	}
+	n.reqWaiting = false
+	if !n.dead() && !n.busy {
+		n.loop()
+	}
 }
 
 // recover charges the table-complement scan as contraction time, then lets
@@ -287,22 +326,27 @@ func (n *node) recover() {
 	}
 	scanCost := n.h.cfg.ContractPerCode * float64(n.core.Table().Len()+1)
 	n.busy = true
-	start := n.h.k.Now()
+	n.pendPlan = plan
+	n.pendStart = n.h.k.Now()
+	n.pendContract = scanCost
 	n.endIdle()
-	gen := n.incarn
-	n.h.k.After(scanCost, func() {
-		if n.incarn != gen {
-			return
-		}
-		n.busy = false
-		if n.crashed {
-			return
-		}
-		n.met.Add(metrics.Contract, scanCost)
-		n.h.cfg.Trace.Add(int(n.id), trace.Recover, start, n.h.k.Now())
-		n.core.Adopt(plan)
-		n.loop()
-	})
+	n.h.k.AfterArg(scanCost, n.recoverDoneFn, n.incarn)
+}
+
+func (n *node) recoverDone(gen int) {
+	if n.incarn != gen {
+		return
+	}
+	n.busy = false
+	if n.crashed {
+		return
+	}
+	plan, start := n.pendPlan, n.pendStart
+	n.pendPlan = nil
+	n.met.Add(metrics.Contract, n.pendContract)
+	n.h.cfg.Trace.Add(int(n.id), trace.Recover, start, n.h.k.Now())
+	n.core.Adopt(plan)
+	n.loop()
 }
 
 // --- message handling ---------------------------------------------------------
@@ -348,30 +392,33 @@ func (n *node) drainInbox() {
 		}
 	}
 	n.met.Add(metrics.LB, lbCost)
-	total := commCost + contractCost
 	n.busy = true
-	start := n.h.k.Now()
+	n.pendStart = n.h.k.Now()
+	n.pendComm = commCost
+	n.pendContract = contractCost
 	n.endIdle()
-	gen := n.incarn
-	n.h.k.After(total, func() {
-		if n.incarn != gen {
-			return
-		}
-		n.busy = false
-		if n.crashed {
-			return
-		}
-		n.met.Add(metrics.Comm, commCost)
-		n.met.Add(metrics.Contract, contractCost)
-		now := n.h.k.Now()
-		if contractCost > 0 {
-			n.h.cfg.Trace.Add(int(n.id), trace.Contract, start+commCost, now)
-		}
-		if commCost > 0 {
-			n.h.cfg.Trace.Add(int(n.id), trace.Comm, start, start+commCost)
-		}
-		n.loop()
-	})
+	n.h.k.AfterArg(commCost+contractCost, n.drainDoneFn, n.incarn)
+}
+
+func (n *node) drainDone(gen int) {
+	if n.incarn != gen {
+		return
+	}
+	n.busy = false
+	if n.crashed {
+		return
+	}
+	commCost, contractCost, start := n.pendComm, n.pendContract, n.pendStart
+	n.met.Add(metrics.Comm, commCost)
+	n.met.Add(metrics.Contract, contractCost)
+	now := n.h.k.Now()
+	if contractCost > 0 {
+		n.h.cfg.Trace.Add(int(n.id), trace.Contract, start+commCost, now)
+	}
+	if commCost > 0 {
+		n.h.cfg.Trace.Add(int(n.id), trace.Comm, start, start+commCost)
+	}
+	n.loop()
 }
 
 // observeTable samples the table's wire size for storage accounting.
@@ -459,9 +506,9 @@ func (n *node) restart() {
 	}
 	// Restagger the periodic chains like at boot and resume the main loop.
 	jitter := n.h.k.Rand().Float64()
-	n.reportTimer = n.h.k.After(jitter*n.h.cfg.ReportTimeout, n.reportTick)
+	n.reportTimer = n.h.k.After(jitter*n.h.cfg.ReportTimeout, n.reportTickFn)
 	if n.h.cfg.TableInterval > 0 {
-		n.tableTimer = n.h.k.After(jitter*n.h.cfg.TableInterval, n.tableTick)
+		n.tableTimer = n.h.k.After(jitter*n.h.cfg.TableInterval, n.tableTickFn)
 	}
 	n.loop()
 }

@@ -228,6 +228,9 @@ func run(cfg Config, w workload) Result {
 		union:    ctree.New(),
 		expanded: make(map[string]bool, w.sizeHint),
 	}
+	if cfg.fireHook != nil {
+		h.k.SetFireHook(cfg.fireHook)
+	}
 	h.nw = sim.NewNetwork(h.k, cfg.Latency)
 	h.nw.SetLoss(cfg.Loss)
 	// Unconditional, like SetLoss: a malformed probability (a sign typo for
@@ -279,9 +282,9 @@ func run(cfg Config, w workload) Result {
 		// The handles are kept so a crash before the first tick can cancel
 		// the boot chain — a restart starts a fresh one.
 		jitter := h.k.Rand().Float64()
-		n.reportTimer = h.k.At(jitter*cfg.ReportTimeout, n.reportTick)
+		n.reportTimer = h.k.At(jitter*cfg.ReportTimeout, n.reportTickFn)
 		if cfg.TableInterval > 0 {
-			n.tableTimer = h.k.At(jitter*cfg.TableInterval, n.tableTick)
+			n.tableTimer = h.k.At(jitter*cfg.TableInterval, n.tableTickFn)
 		}
 		h.k.At(0, n.loop)
 	}

@@ -39,7 +39,7 @@ type node struct {
 	finished   bool
 	reqPending bool
 	reqWaiting bool
-	reqTimer   *sim.Event
+	reqTimer   sim.Event
 	expandedN  int
 	redundantN int
 }

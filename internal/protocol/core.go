@@ -427,7 +427,7 @@ func (c *Core) FlushReport() {
 	if len(peers) == 0 {
 		return // lone process: nothing to gossip, its own table suffices
 	}
-	m := Report{Codes: codes, Incumbent: c.incumbent, ActAge: c.ActivityAge()}
+	var m Msg = Report{Codes: codes, Incumbent: c.incumbent, ActAge: c.ActivityAge()}
 	for i := 0; i < c.cfg.ReportFanout; i++ {
 		c.d.Sender.Send(peers[c.d.Rand(len(peers))], m)
 		c.cnt.ReportsSent++
@@ -783,7 +783,11 @@ func (c *Core) handleGrant(g WorkGrant) Effect {
 // then stops.
 func (c *Core) detectTermination() {
 	c.terminated = true
-	m := Report{Codes: []code.Code{code.Root()}, Incumbent: c.incumbent, ActAge: c.ActivityAge()}
+	// Box the report into the Msg interface once, outside the loop: the
+	// broadcast goes to every member, and re-boxing per peer is one heap
+	// allocation × peers × processes at the end of every run — the single
+	// largest allocator in the 1000-process stress tier.
+	var m Msg = Report{Codes: []code.Code{code.Root()}, Incumbent: c.incumbent, ActAge: c.ActivityAge()}
 	for _, p := range c.d.Peers() {
 		c.d.Sender.Send(p, m)
 	}

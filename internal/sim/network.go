@@ -72,6 +72,12 @@ type Network struct {
 	stats         NetStats
 	sentBytes     map[NodeID]int64 // per-sender payload bytes
 	sentMsgs      map[NodeID]int64
+	// deliverTo caches one destination-bound delivery callback per receiver,
+	// so scheduling a message costs no capture closure: the kernel's typed
+	// delivery event carries (callback, from, msg) in its pooled slot, and
+	// the callback closes over only the destination — allocated once per
+	// node ever, not once per message.
+	deliverTo map[NodeID]Handler
 }
 
 // NewNetwork creates a network on k with the given latency model.
@@ -87,6 +93,7 @@ func NewNetwork(k *Kernel, latency LatencyModel) *Network {
 		crashed:   map[NodeID]bool{},
 		sentBytes: map[NodeID]int64{},
 		sentMsgs:  map[NodeID]int64{},
+		deliverTo: map[NodeID]Handler{},
 	}
 }
 
@@ -223,28 +230,39 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 	}
 }
 
-// schedule queues one delivery attempt of msg after delay.
+// schedule queues one delivery attempt of msg after delay through the
+// kernel's typed delivery event — no per-message closure; the pooled event
+// slot carries the payload.
 func (n *Network) schedule(from, to NodeID, msg Message, delay float64) {
-	n.k.After(delay, func() {
-		// Re-check at delivery time: the destination may have crashed, or a
-		// partition may have formed, while the message was in flight. A
-		// message already in flight from a sender that crashes later is
-		// still delivered — crash-stop halts the process, not the wire.
-		if n.crashed[to] {
-			n.stats.ToDead++
-			return
-		}
-		if n.separated(from, to, n.k.Now()) {
-			n.stats.Cut++
-			return
-		}
-		h, ok := n.handlers[to]
-		if !ok {
-			return
-		}
-		n.stats.Delivered++
-		h(from, msg)
-	})
+	h := n.deliverTo[to]
+	if h == nil {
+		h = func(from NodeID, msg Message) { n.deliverNow(from, to, msg) }
+		n.deliverTo[to] = h
+	}
+	n.k.Deliver(delay, h, from, msg)
+}
+
+// deliverNow runs one delivery attempt at its scheduled time. Every check is
+// re-done at delivery time: the destination may have crashed, or a partition
+// may have formed, while the message was in flight. A message already in
+// flight from a sender that crashes later is still delivered — crash-stop
+// halts the process, not the wire. The handler is also looked up at delivery
+// time, so a receiver registered mid-flight still gets the message.
+func (n *Network) deliverNow(from, to NodeID, msg Message) {
+	if n.crashed[to] {
+		n.stats.ToDead++
+		return
+	}
+	if n.separated(from, to, n.k.Now()) {
+		n.stats.Cut++
+		return
+	}
+	h, ok := n.handlers[to]
+	if !ok {
+		return
+	}
+	n.stats.Delivered++
+	h(from, msg)
 }
 
 // Stats returns a copy of the aggregate counters.

@@ -1,0 +1,210 @@
+package sim
+
+// The pre-ISSUE-5 event kernel, kept verbatim as a test-only reference (the
+// same move internal/ctree made in PR 3): container/heap over boxed *event
+// nodes, lazily-skipped cancellations, one allocation per event and per
+// handle. The randomized equivalence property below drives it and the arena
+// kernel through identical schedules and demands identical firing orders —
+// the strongest guard we have that the allocation work changed nothing
+// observable.
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+type refKernel struct {
+	now    float64
+	seq    uint64
+	events refHeap
+}
+
+type refHandle struct{ cancelled bool }
+
+type refEvent struct {
+	time   float64
+	seq    uint64
+	fn     func()
+	handle *refHandle
+}
+
+func (k *refKernel) At(t float64, fn func()) *refHandle {
+	if t < k.now {
+		panic("refsim: scheduling into the past")
+	}
+	ev := &refEvent{time: t, seq: k.seq, fn: fn, handle: &refHandle{}}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return ev.handle
+}
+
+func (k *refKernel) After(d float64, fn func()) *refHandle {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+func (k *refKernel) Run(until float64) float64 {
+	for len(k.events) > 0 {
+		next := k.events[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&k.events)
+		if next.handle.cancelled {
+			continue
+		}
+		k.now = next.time
+		next.fn()
+	}
+	return k.now
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// scriptKernel is the least common denominator the equivalence driver
+// needs: schedule, cancel, clock.
+type scriptKernel interface {
+	schedule(d float64, fn func()) (cancel func())
+	now() float64
+	run(until float64) float64
+}
+
+type arenaAdapter struct{ k *Kernel }
+
+func (a arenaAdapter) schedule(d float64, fn func()) func() {
+	ev := a.k.After(d, fn)
+	return ev.Cancel
+}
+func (a arenaAdapter) now() float64              { return a.k.Now() }
+func (a arenaAdapter) run(until float64) float64 { return a.k.Run(until) }
+
+type refAdapter struct{ k *refKernel }
+
+func (a refAdapter) schedule(d float64, fn func()) func() {
+	h := a.k.After(d, fn)
+	return func() { h.cancelled = true }
+}
+func (a refAdapter) now() float64              { return a.k.now }
+func (a refAdapter) run(until float64) float64 { return a.k.Run(until) }
+
+// playScript drives one kernel through a pseudo-random schedule derived
+// from seed: events log their (id, time) on firing and, from inside their
+// callbacks, schedule children and cancel random outstanding events —
+// exactly the At/After/Cancel interleavings a simulation produces. The
+// returned log is the kernel's complete observable behavior.
+type firing struct {
+	id int
+	at float64
+}
+
+func playScript(k scriptKernel, seed int64) []firing {
+	rng := rand.New(rand.NewSource(seed))
+	var log []firing
+	var cancels []func()
+	nextID := 0
+	budget := 400 // total events scheduled, bounding the run
+
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		if budget == 0 {
+			return
+		}
+		budget--
+		id := nextID
+		nextID++
+		// Durations draw from a tiny domain so simultaneous events (and
+		// their FIFO tie-break) occur constantly, plus occasional zero
+		// delays for fire-now-within-now chains.
+		d := float64(rng.Intn(4)) * 0.25
+		cancels = append(cancels, k.schedule(d, func() {
+			log = append(log, firing{id: id, at: k.now()})
+			for n := rng.Intn(3); n > 0 && depth < 12; n-- {
+				schedule(depth + 1)
+			}
+			if len(cancels) > 0 && rng.Intn(3) == 0 {
+				// Cancel a random outstanding (or spent — must be a no-op)
+				// handle, sometimes twice.
+				c := cancels[rng.Intn(len(cancels))]
+				c()
+				if rng.Intn(4) == 0 {
+					c()
+				}
+			}
+		}))
+	}
+	for i := 0; i < 40; i++ {
+		schedule(0)
+	}
+	k.run(math.Inf(1))
+	return log
+}
+
+// TestPropKernelMatchesReference: for random schedules, the arena kernel
+// and the reference kernel fire the same events at the same times in the
+// same order.
+func TestPropKernelMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		got := playScript(arenaAdapter{k: New(1)}, seed)
+		want := playScript(refAdapter{k: &refKernel{}}, seed)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: firing %d = %+v, reference %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPropKernelMatchesReferenceUntil: the until cutoff leaves both kernels
+// at the same clock with the same remaining behavior.
+func TestPropKernelMatchesReferenceUntil(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, r := arenaAdapter{k: New(1)}, refAdapter{k: &refKernel{}}
+		rng := rand.New(rand.NewSource(seed))
+		var aLog, rLog []firing
+		for i := 0; i < 100; i++ {
+			d := float64(rng.Intn(8)) * 0.5
+			i := i
+			a.schedule(d, func() { aLog = append(aLog, firing{i, a.now()}) })
+			r.schedule(d, func() { rLog = append(rLog, firing{i, r.now()}) })
+		}
+		for _, until := range []float64{1, 2.5, 3, math.Inf(1)} {
+			at, rt := a.run(until), r.run(until)
+			if at != rt {
+				t.Fatalf("seed %d: Run(%g) = %g, reference %g", seed, until, at, rt)
+			}
+		}
+		if len(aLog) != len(rLog) {
+			t.Fatalf("seed %d: fired %d, reference %d", seed, len(aLog), len(rLog))
+		}
+		for i := range aLog {
+			if aLog[i] != rLog[i] {
+				t.Fatalf("seed %d: firing %d = %+v, reference %+v", seed, i, aLog[i], rLog[i])
+			}
+		}
+	}
+}

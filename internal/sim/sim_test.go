@@ -87,8 +87,67 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	var nilEv *Event
-	nilEv.Cancel() // must not panic
+	var zero Event
+	zero.Cancel() // the zero handle must be a safe no-op
+}
+
+func TestCancelExcludedFromPending(t *testing.T) {
+	k := New(1)
+	ev := k.At(1, func() {})
+	k.At(2, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	ev.Cancel()
+	if k.Pending() != 1 {
+		t.Errorf("Pending after Cancel = %d, want 1 (cancelled events are reclaimed eagerly)", k.Pending())
+	}
+	ev.Cancel() // double-cancel: no-op
+	if k.Pending() != 1 {
+		t.Errorf("Pending after double Cancel = %d, want 1", k.Pending())
+	}
+}
+
+func TestStaleHandleCannotCancelReusedSlot(t *testing.T) {
+	k := New(1)
+	fired := 0
+	ev := k.At(1, func() { fired++ })
+	k.Run(math.Inf(1))
+	// ev's slot is free; the next event reuses it. The stale handle must
+	// not be able to cancel the newcomer.
+	k.At(2, func() { fired++ })
+	ev.Cancel()
+	k.Run(math.Inf(1))
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (stale Cancel hit a reused slot)", fired)
+	}
+}
+
+func TestAfterArg(t *testing.T) {
+	k := New(1)
+	var got []int
+	fn := func(v int) { got = append(got, v) }
+	k.AfterArg(2, fn, 20)
+	k.AfterArg(1, fn, 10)
+	k.AfterArg(-1, fn, 0) // clamps to now, fires first
+	k.Run(math.Inf(1))
+	if len(got) != 3 || got[0] != 0 || got[1] != 10 || got[2] != 20 {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestDeliverTyped(t *testing.T) {
+	k := New(1)
+	var from NodeID
+	var size int
+	var at float64
+	k.Deliver(1.5, func(f NodeID, m Message) { from, size, at = f, m.Size(), k.Now() }, 7, payload(42))
+	ev := k.Deliver(1, func(NodeID, Message) { t.Error("cancelled delivery fired") }, 1, payload(1))
+	ev.Cancel()
+	k.Run(math.Inf(1))
+	if from != 7 || size != 42 || at != 1.5 {
+		t.Errorf("delivery = (from %d, size %d, at %g), want (7, 42, 1.5)", from, size, at)
+	}
 }
 
 func TestSchedulingIntoPastPanics(t *testing.T) {
