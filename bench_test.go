@@ -8,6 +8,7 @@ package gossipbnb
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -211,22 +212,72 @@ func BenchmarkRealKnapsackLive(b *testing.B) {
 	}
 }
 
-// BenchmarkStress1000 is the 1000-process scale tier: a deep (30-item)
-// knapsack solved from initial data on 1000 simulated processes. Most of the
-// thousand processes starve, probe, gossip tables, and chase the final
-// termination broadcast, so the run leans on exactly the paths the
-// completion-table hot-path work optimizes — report flushes, table merges,
-// wire-size queries, and peer-view fan-out — at 10× the paper's largest
-// processor count.
-func BenchmarkStress1000(b *testing.B) {
-	k := RandomKnapsack(rand.New(rand.NewSource(7)), 30)
-	seq := SolveProblem(k)
-	b.ResetTimer()
+// stressRun is one scale-tier iteration: a deep (30-item) knapsack solved
+// from initial data on procs simulated processes. Most processes starve,
+// probe, gossip tables, and chase the final termination broadcast, so the
+// run leans on report flushes, table merges, wire-size queries, peer-view
+// fan-out — and, sharded, on the mesh barrier and the ring-range broadcast.
+func stressRun(b *testing.B, k *Knapsack, seq SolveResult, procs, shards int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res := RunProblemRef(k, seq, SimConfig{Procs: 1000, Seed: 7, Prune: true})
+		res := RunProblemRef(k, seq, SimConfig{Procs: procs, Seed: 7, Prune: true, Shards: shards})
 		if !res.Terminated || !res.OptimumOK {
 			b.Fatal("stress run failed to terminate at the optimum")
 		}
+	}
+}
+
+// BenchmarkStress1000 is the 1000-process scale tier, measured on the
+// legacy serial kernel (the pre-sharding code path, shards=0), the sharded
+// substrate's serial baseline (shards=1), and the parallel mesh at one
+// shard per CPU. Sub-benchmark names avoid runtime.NumCPU so baselines
+// compare across machines (the -N GOMAXPROCS suffix is stripped by
+// cmd/benchsnap).
+func BenchmarkStress1000(b *testing.B) {
+	k := RandomKnapsack(rand.New(rand.NewSource(7)), 30)
+	seq := SolveProblem(k)
+	b.Run("shards=0", func(b *testing.B) { stressRun(b, k, seq, 1000, 0) })
+	b.Run("shards=1", func(b *testing.B) { stressRun(b, k, seq, 1000, 1) })
+	b.Run("shards=cpu", func(b *testing.B) { stressRun(b, k, seq, 1000, runtime.GOMAXPROCS(0)) })
+}
+
+// BenchmarkStress10000 is the 10,000-process tier the sharded substrate
+// unlocks: the legacy kernel's procs² termination storm (~100M pending
+// events at this size) made it unrunnable; the ring-range broadcast plus
+// done-node fast drop bring one full solve to seconds.
+func BenchmarkStress10000(b *testing.B) {
+	k := RandomKnapsack(rand.New(rand.NewSource(7)), 30)
+	seq := SolveProblem(k)
+	b.Run("shards=1", func(b *testing.B) { stressRun(b, k, seq, 10000, 1) })
+	b.Run("shards=cpu", func(b *testing.B) { stressRun(b, k, seq, 10000, runtime.GOMAXPROCS(0)) })
+}
+
+// TestStress100000Smoke boots 100,000 simulated processes on the sharded
+// substrate and runs a capped virtual-time window of a tree replay: work
+// seeds at one process and spreads while everyone else starves, probes and
+// retries — a pure scale smoke of registration, boot stagger, the request/
+// retry machinery and the mesh barrier at 100× the paper's largest pool.
+// No termination is expected inside the cap.
+func TestStress100000Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-process smoke skipped in -short mode")
+	}
+	r := rand.New(rand.NewSource(31))
+	tr := RandomTree(r, RandomTreeConfig{
+		Size: 200001, Cost: CostModel{Mean: 0.05, Sigma: 0.3},
+		BoundSpread: 1, FeasibleProb: 0.05,
+	})
+	res := Run(tr, SimConfig{
+		Procs: 100000, Seed: 31, Shards: runtime.GOMAXPROCS(0), MaxTime: 2,
+	})
+	if res.Terminated {
+		t.Error("100k smoke terminated inside a 2-virtual-second cap — workload misconfigured")
+	}
+	if res.Expanded == 0 {
+		t.Error("no work expanded: the pool never booted")
+	}
+	if res.Events < 100000 {
+		t.Errorf("only %d events fired across 100k processes", res.Events)
 	}
 }
 

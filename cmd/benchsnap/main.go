@@ -21,6 +21,13 @@
 // noise, so only their allocations are gated). A benchmark present in the
 // baseline but missing from the run also fails the gate: silently dropping
 // a benchmark must not pass.
+//
+// With -gate-parallel R (no baseline needed), the command additionally
+// compares sibling benchmarks WITHIN the fresh run: for every pair
+// <X>/shards=cpu and <X>/shards=1, the cpu variant must not be slower than
+// R times the serial variant — the "parallelism must not be a pessimization"
+// gate. The check is skipped (with a note) when the run's GOMAXPROCS is 1,
+// where the two variants are the same configuration up to barrier overhead.
 package main
 
 import (
@@ -65,6 +72,7 @@ func main() {
 	gateNs := flag.Float64("gate-ns", 1.5, "max allowed ns/op ratio vs baseline")
 	gateAllocs := flag.Float64("gate-allocs", 1.5, "max allowed allocs/op ratio vs baseline")
 	gateMinNs := flag.Float64("gate-min-ns", 50e6, "skip the ns/op gate for benchmarks whose baseline ns/op is below this")
+	gatePar := flag.Float64("gate-parallel", 0, "when > 0, fail if any <X>/shards=cpu bench is slower than this ratio times its <X>/shards=1 sibling (skipped at GOMAXPROCS=1)")
 	flag.Parse()
 	if *gate && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchsnap: -gate requires -baseline")
@@ -72,6 +80,7 @@ func main() {
 	}
 
 	snap := Snapshot{}
+	maxprocs := 0
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -90,7 +99,13 @@ func main() {
 			continue
 		}
 		// m[2] is the GOMAXPROCS suffix (-8), stripped so snapshots from
-		// machines with different core counts stay comparable by name.
+		// machines with different core counts stay comparable by name (but
+		// remembered: the parallel gate is meaningless on one CPU).
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2][1:]); err == nil && p > maxprocs {
+				maxprocs = p
+			}
+		}
 		iters, _ := strconv.ParseInt(m[3], 10, 64)
 		ns, err := strconv.ParseFloat(m[4], 64)
 		if err != nil {
@@ -131,13 +146,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
-	if *gate && len(violations) > 0 {
+	if *gatePar > 0 {
+		violations = append(violations, parallelGate(os.Stderr, snap, maxprocs, *gatePar)...)
+	}
+	if (*gate || *gatePar > 0) && len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "benchsnap: bench gate FAILED (%d violation(s)):\n", len(violations))
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "  -", v)
 		}
 		os.Exit(3)
 	}
+}
+
+// parallelGate checks, within one snapshot, that every <X>/shards=cpu
+// benchmark is no slower than ratio times its <X>/shards=1 sibling.
+func parallelGate(w *os.File, snap Snapshot, maxprocs int, ratio float64) []string {
+	if maxprocs <= 1 {
+		fmt.Fprintln(w, "benchsnap: parallel gate skipped — bench run used GOMAXPROCS=1, shards=cpu and shards=1 are the same configuration")
+		return nil
+	}
+	byName := make(map[string]Bench, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+	}
+	var violations []string
+	const cpuSuffix, serialSuffix = "/shards=cpu", "/shards=1"
+	for _, b := range snap.Benchmarks {
+		if len(b.Name) <= len(cpuSuffix) || b.Name[len(b.Name)-len(cpuSuffix):] != cpuSuffix {
+			continue
+		}
+		serial, ok := byName[b.Name[:len(b.Name)-len(cpuSuffix)]+serialSuffix]
+		if !ok || serial.NsPerOp <= 0 {
+			continue
+		}
+		r := b.NsPerOp / serial.NsPerOp
+		fmt.Fprintf(w, "benchsnap: parallel %-40s %.2fx vs shards=1 (gate %.2f)\n", b.Name, r, ratio)
+		if r > ratio {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.2fx slower than its shards=1 sibling (limit %.2f) — parallelism is a pessimization", b.Name, r, ratio))
+		}
+	}
+	return violations
 }
 
 // gateThresholds are the regression limits the gate enforces.

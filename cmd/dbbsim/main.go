@@ -23,6 +23,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"gossipbnb/internal/bnb"
 	"gossipbnb/internal/btree"
@@ -72,6 +73,7 @@ func run() int {
 	var crashes crashList
 	var (
 		procs    = flag.Int("procs", 8, "number of processes")
+		shards   = flag.Int("shards", -1, "parallel event shards: N >= 1 exact, 0 = one per CPU, -1 = legacy serial kernel")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		treePath = flag.String("tree", "", "basic-tree file (else a tree is generated)")
 		problem  = flag.String("problem", "", "solve a real problem from initial data, no recorded tree: knapsack:<n>:<seed> or qap:<n>:<seed>")
@@ -141,8 +143,17 @@ func run() int {
 	if *gantt {
 		lg = &trace.Log{}
 	}
+	// CLI shard semantics: -1 (default) is the legacy serial kernel
+	// (Config.Shards == 0); 0 asks for one shard per CPU; N >= 1 is exact.
+	nshards := *shards
+	if nshards == 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	} else if nshards < 0 {
+		nshards = 0
+	}
 	cfg := dbnb.Config{
 		Procs:         *procs,
+		Shards:        nshards,
 		Seed:          *seed,
 		Prune:         *prune,
 		Loss:          *loss,
@@ -158,6 +169,7 @@ func run() int {
 	}
 
 	var res dbnb.Result
+	wall := time.Now()
 	if *problem != "" {
 		if *treePath != "" {
 			log.Fatal("-problem and -tree are mutually exclusive")
@@ -193,8 +205,15 @@ func run() int {
 		res = dbnb.Run(tree, cfg)
 	}
 
+	elapsed := time.Since(wall)
 	fmt.Printf("terminated=%v  time=%.2fs  optimum=%.6g (correct=%v)\n",
 		res.Terminated, res.Time, res.Optimum, res.OptimumOK)
+	kernel := "serial kernel"
+	if res.Shards > 0 {
+		kernel = fmt.Sprintf("%d shards", res.Shards)
+	}
+	fmt.Printf("engine: %s, %d events in %.2fs wall (%.3g events/sec)\n",
+		kernel, res.Events, elapsed.Seconds(), float64(res.Events)/elapsed.Seconds())
 	fmt.Printf("expanded=%d  unique=%d  redundant=%d\n", res.Expanded, res.Unique, res.Redundant)
 	agg := res.Met.AggregateBreakdown()
 	parts := make([]string, 0, 5)

@@ -53,6 +53,25 @@ type Config struct {
 	Procs int
 	Seed  int64
 
+	// Shards partitions the simulated processes across that many parallel
+	// event shards, each with its own kernel, synchronized by a conservative
+	// lookahead barrier at the latency model's static minimum delay.
+	//
+	// 0 (the default) is the legacy serial path: one kernel, one global RNG
+	// stream — bit-identical to every pre-sharding release, as pinned by the
+	// golden event-order tests. Shards >= 1 selects the sharded substrate
+	// (1 is its serial baseline): every process draws its randomness from
+	// its own (Seed, id)-derived stream, so failure-free results are
+	// invariant in the shard count, and a fixed (Seed, Shards) pair is
+	// exactly reproducible. Chaos-model draws (loss/dup/reorder/replay)
+	// come from per-shard streams, so under chaos only the solved optimum —
+	// not the event trajectory — is shard-count invariant.
+	//
+	// Values above Procs are clamped. Features whose state cannot be
+	// partitioned fall back to the legacy path: UseMembership, a non-nil
+	// Trace, and latency models without a positive zero-byte floor.
+	Shards int
+
 	// Network model. Latency nil means the paper's 1.5 + 0.005·L ms model.
 	Latency sim.LatencyModel
 	Loss    float64

@@ -1,6 +1,8 @@
 package dbnb
 
 import (
+	"math/rand"
+
 	"gossipbnb/internal/code"
 	"gossipbnb/internal/metrics"
 	"gossipbnb/internal/protocol"
@@ -9,9 +11,11 @@ import (
 )
 
 // inMsg is a queued incoming message (the paper's processes check pending
-// messages only after finishing the current subproblem).
+// messages only after finishing the current subproblem). at is the virtual
+// arrival time — the sort key that makes sharded batch handling canonical.
 type inMsg struct {
 	from sim.NodeID
+	at   float64
 	msg  protocol.Msg
 }
 
@@ -24,14 +28,32 @@ type inMsg struct {
 type node struct {
 	id   sim.NodeID
 	h    *harness
+	sh   *shardCtx   // owner shard: the kernel/network/accounting this node lives on
+	k    *sim.Kernel // == sh.k, the node's scheduling clock
 	core *protocol.Core
 	exp  protocol.Expander // this process's own code resolver
+
+	// rng drives every stochastic choice this process makes (timer stagger,
+	// report fanout targets, recovery jitter). Legacy mode aliases the
+	// single kernel's global stream — the pre-sharding draw order, byte for
+	// byte. Sharded mode derives an independent stream from (seed, id), so
+	// a process's decisions do not depend on how processes are sharded —
+	// the root of the shard-count invariance property.
+	rng *rand.Rand
 
 	busy       bool
 	crashed    bool
 	done       bool // observed the core's termination detection
 	detectedAt float64
 	inbox      []inMsg
+	// wake marks a pending same-time wake event (sharded mode). Deliveries
+	// there never process the inbox directly: the first arrival at a virtual
+	// instant schedules a wake at that same instant, which — because every
+	// simultaneous delivery is already in the kernel queue by then (the
+	// latency floor is at least the mesh lookahead) — fires after the WHOLE
+	// same-time batch has landed, so the batch can be handled in canonical
+	// order no matter which shards the senders ran on.
+	wake bool
 
 	// incarn is the crash-restart incarnation: every busy-period and pacing
 	// callback captures it at schedule time and aborts if the node has been
@@ -59,6 +81,7 @@ type node struct {
 	// bails on the incarnation check before touching them.
 	reportTickFn  func()
 	tableTickFn   func()
+	wakeFn        func()
 	expandDoneFn  func(int)
 	drainDoneFn   func(int)
 	recoverDoneFn func(int)
@@ -92,7 +115,7 @@ type nodeSender struct{ n *node }
 
 func (s nodeSender) Send(to protocol.NodeID, m protocol.Msg) {
 	n := s.n
-	n.h.nw.Send(n.id, sim.NodeID(to), m)
+	n.sh.nw.Send(n.id, sim.NodeID(to), m)
 	over := n.h.cfg.CommOverhead
 	switch m.(type) {
 	case protocol.Report, protocol.TableMsg:
@@ -102,10 +125,44 @@ func (s nodeSender) Send(to protocol.NodeID, m protocol.Msg) {
 	}
 }
 
-func newNode(id sim.NodeID, h *harness) *node {
-	n := &node{id: id, h: h, exp: h.w.newExpander(), idleStart: -1, met: &h.met.Nodes[id]}
+// Broadcast implements protocol.BroadcastSender for the termination
+// broadcast of §5.4. The legacy path loops Send — exactly what the core
+// would do with a plain Sender. Sharded runs route the fan-out through the
+// mesh's ring-range group path: the static peer view IS the ring minus the
+// sender, so the procs² broadcast collapses to one group delivery per
+// destination shard instead of procs² pending events.
+func (s nodeSender) Broadcast(peers []protocol.NodeID, m protocol.Msg) {
+	n := s.n
+	if n.sh.legacy {
+		for _, p := range peers {
+			s.Send(p, m)
+		}
+		return
+	}
+	n.sh.nw.BroadcastRange(n.id, int(n.id)+1, len(peers), m)
+	over := n.h.cfg.CommOverhead * float64(len(peers))
+	switch m.(type) {
+	case protocol.Report, protocol.TableMsg:
+		n.met.Add(metrics.Comm, over)
+	default:
+		n.met.Add(metrics.LB, over)
+	}
+}
+
+func newNode(id sim.NodeID, h *harness, sh *shardCtx) *node {
+	n := &node{id: id, h: h, sh: sh, k: sh.k, exp: h.w.newExpander(), idleStart: -1, met: &h.met.Nodes[id]}
+	if sh.legacy {
+		n.rng = sh.k.Rand()
+	} else {
+		n.rng = rand.New(rand.NewSource(sim.DeriveSeed(h.cfg.Seed, int(id))))
+		// The static peer view is a window into the shared doubled ring:
+		// every process but this one, O(1) extra memory per node where the
+		// legacy per-node cache is O(procs).
+		n.peersCache = h.ring[int(id)+1 : int(id)+h.cfg.Procs]
+	}
 	n.reportTickFn = n.reportTick
 	n.tableTickFn = n.tableTick
+	n.wakeFn = n.wakeup
 	n.expandDoneFn = n.expandDone
 	n.drainDoneFn = n.drainDone
 	n.recoverDoneFn = n.recoverDone
@@ -134,20 +191,22 @@ func (n *node) initCore() {
 		RecoveryQuiet:    cfg.RecoveryQuiet,
 		DisableRecovery:  cfg.DisableRecovery,
 	}, protocol.Deps{
-		Clock:         h.k,
+		Clock:         n.k,
 		Sender:        nodeSender{n},
 		Expander:      n.exp,
 		Peers:         n.peerView,
-		Rand:          func(m int) int { return h.k.Rand().Intn(m) },
-		RandFloat:     func() float64 { return h.k.Rand().Float64() },
-		OnComplete:    h.noteCompletion,
+		Rand:          func(m int) int { return n.rng.Intn(m) },
+		RandFloat:     func() float64 { return n.rng.Float64() },
+		OnComplete:    n.sh.noteCompletion,
 		OnTableChange: n.observeTable,
 	})
 }
 
 // peerView adapts the harness's membership view to protocol identifiers. The
 // core reads the returned slice without retaining or mutating it, so the
-// static (no-membership) view is cached.
+// static (no-membership) view is cached: legacy mode builds the original
+// ascending-order per-node cache lazily (bit-identical runs); sharded mode
+// pre-assigned a window of the shared ring at construction.
 func (n *node) peerView() []protocol.NodeID {
 	if !n.h.cfg.UseMembership {
 		if n.peersCache == nil {
@@ -211,8 +270,8 @@ func (n *node) expand(it protocol.Item) {
 	cost := n.h.w.costOf(it) * n.h.cfg.CostFactor
 	n.busy = true
 	n.pendItem = it
-	n.pendStart = n.h.k.Now()
-	n.h.k.AfterArg(cost, n.expandDoneFn, n.incarn)
+	n.pendStart = n.k.Now()
+	n.k.AfterArg(cost, n.expandDoneFn, n.incarn)
 }
 
 func (n *node) expandDone(gen int) {
@@ -224,11 +283,11 @@ func (n *node) expandDone(gen int) {
 		return
 	}
 	it, start := n.pendItem, n.pendStart
-	now := n.h.k.Now()
+	now := n.k.Now()
 	n.met.Add(metrics.BB, now-start)
 	n.h.cfg.Trace.Add(int(n.id), trace.Compute, start, now)
 	n.met.Expanded++
-	n.h.noteExpansion(n, it.Code)
+	n.sh.noteExpansion(n, it.Code)
 	n.core.OnExpanded(it, n.exp.Outcome(it), now-start)
 	n.loop()
 }
@@ -245,7 +304,7 @@ func (n *node) reportTick() {
 	if n.core.ReportOverdue() {
 		n.core.FlushReport()
 	}
-	n.reportTimer = n.h.k.After(n.h.cfg.ReportTimeout, n.reportTickFn)
+	n.reportTimer = n.k.After(n.h.cfg.ReportTimeout, n.reportTickFn)
 }
 
 // tableTick occasionally pushes the full table to one random member.
@@ -253,12 +312,11 @@ func (n *node) tableTick() {
 	if n.dead() {
 		return
 	}
-	peers := n.h.view(n.id)
+	peers := n.peerView()
 	if len(peers) > 0 {
-		to := peers[n.h.k.Rand().Intn(len(peers))]
-		n.core.SendTable(protocol.NodeID(to))
+		n.core.SendTable(peers[n.rng.Intn(len(peers))])
 	}
-	n.tableTimer = n.h.k.After(n.h.cfg.TableInterval, n.tableTickFn)
+	n.tableTimer = n.k.After(n.h.cfg.TableInterval, n.tableTickFn)
 }
 
 // --- load balancing and recovery ---------------------------------------------
@@ -272,7 +330,7 @@ func (n *node) requestWork() {
 	}
 	switch n.core.Starve() {
 	case protocol.StarveRequested:
-		n.reqTimer = n.h.k.AfterArg(n.h.cfg.RequestTimeout, n.reqTimeoutFn, n.incarn)
+		n.reqTimer = n.k.AfterArg(n.h.cfg.RequestTimeout, n.reqTimeoutFn, n.incarn)
 	case protocol.StarveRecover:
 		n.recover()
 	case protocol.StarveWait:
@@ -300,7 +358,7 @@ func (n *node) paceRetry() {
 		return
 	}
 	n.reqWaiting = true
-	n.h.k.AfterArg(n.h.cfg.RetryDelay, n.paceDoneFn, n.incarn)
+	n.k.AfterArg(n.h.cfg.RetryDelay, n.paceDoneFn, n.incarn)
 }
 
 func (n *node) paceDone(gen int) {
@@ -327,10 +385,10 @@ func (n *node) recover() {
 	scanCost := n.h.cfg.ContractPerCode * float64(n.core.Table().Len()+1)
 	n.busy = true
 	n.pendPlan = plan
-	n.pendStart = n.h.k.Now()
+	n.pendStart = n.k.Now()
 	n.pendContract = scanCost
 	n.endIdle()
-	n.h.k.AfterArg(scanCost, n.recoverDoneFn, n.incarn)
+	n.k.AfterArg(scanCost, n.recoverDoneFn, n.incarn)
 }
 
 func (n *node) recoverDone(gen int) {
@@ -344,7 +402,7 @@ func (n *node) recoverDone(gen int) {
 	plan, start := n.pendPlan, n.pendStart
 	n.pendPlan = nil
 	n.met.Add(metrics.Contract, n.pendContract)
-	n.h.cfg.Trace.Add(int(n.id), trace.Recover, start, n.h.k.Now())
+	n.h.cfg.Trace.Add(int(n.id), trace.Recover, start, n.k.Now())
 	n.core.Adopt(plan)
 	n.loop()
 }
@@ -360,20 +418,80 @@ func (n *node) deliver(from sim.NodeID, msg sim.Message) {
 	if !ok {
 		return
 	}
-	n.inbox = append(n.inbox, inMsg{from: from, msg: pm})
-	if !n.busy {
-		n.loop()
+	if n.done && !n.sh.legacy {
+		// Fast drop at terminated processes (sharded mode): a done node's
+		// table is complete, so reports, tables and grants teach it nothing
+		// — their merges would all be no-ops — and denials answer requests
+		// it no longer has outstanding. Only a WorkRequest still matters: a
+		// straggler probing for work needs the root-report answer that tells
+		// it the computation is over. This turns the tail of the procs²
+		// termination storm from procs² full message handlings into procs²
+		// type switches. The legacy path keeps the original handling (the
+		// busy-period accounting differs, and legacy runs are pinned
+		// bit-identical by the golden tests).
+		if _, isReq := pm.(protocol.WorkRequest); !isReq {
+			return
+		}
 	}
+	n.inbox = append(n.inbox, inMsg{from: from, at: n.k.Now(), msg: pm})
+	if n.sh.legacy {
+		if !n.busy {
+			n.loop()
+		}
+		return
+	}
+	// Sharded mode: defer processing to a wake event at this same virtual
+	// instant. Every other delivery at this time is already in the kernel
+	// queue (anything a shard fires now can only produce arrivals at least
+	// one lookahead in the future, and earlier cross-shard mail was drained
+	// at the last barrier), so the wake fires after the full same-time
+	// batch — which drainInbox then orders canonically. Processing on the
+	// first arrival instead would replay the kernel's tie order, which
+	// depends on the shard count.
+	if !n.busy && !n.wake {
+		n.wake = true
+		n.k.After(0, n.wakeFn)
+	}
+}
+
+// wakeup resumes the loop after the same-time delivery batch has landed.
+func (n *node) wakeup() {
+	n.wake = false
+	if n.busy || n.crashed {
+		return
+	}
+	n.loop()
 }
 
 // drainInbox feeds all queued messages to the core, charging their modeled
 // CPU cost as one busy period, then resumes the loop.
 func (n *node) drainInbox() {
 	cfg := &n.h.cfg
+	if !n.sh.legacy && len(n.inbox) > 1 {
+		// Canonical batch order: (arrival time, sender), stable. Arrival
+		// times and per-sender send order are invariant in the shard count;
+		// the raw append order is not — it follows kernel tie-breaking,
+		// which differs once simultaneous senders live on different shards.
+		// The batch is nearly sorted (time-ordered except same-time groups),
+		// so a stable insertion sort runs in ~O(n) with zero allocations.
+		for i := 1; i < len(n.inbox); i++ {
+			m := n.inbox[i]
+			j := i - 1
+			for j >= 0 && (n.inbox[j].at > m.at || (n.inbox[j].at == m.at && n.inbox[j].from > m.from)) {
+				n.inbox[j+1] = n.inbox[j]
+				j--
+			}
+			n.inbox[j+1] = m
+		}
+	}
 	commCost, contractCost, lbCost := 0.0, 0.0, 0.0
-	for len(n.inbox) > 0 {
-		m := n.inbox[0]
-		n.inbox = n.inbox[1:]
+	// Handling a message never delivers another one synchronously (sends go
+	// through the kernel), so the batch is fixed at entry: walk it by index
+	// and reset, reusing the backing array. The previous head-slicing
+	// (inbox = inbox[1:]) re-allocated and memmoved the queue constantly —
+	// the single largest CPU sink in the 1000-process stress profile.
+	for i := 0; i < len(n.inbox); i++ {
+		m := n.inbox[i]
 		commCost += cfg.CommOverhead
 		switch t := m.msg.(type) {
 		case protocol.Report:
@@ -391,13 +509,14 @@ func (n *node) drainInbox() {
 			n.paceRetry()
 		}
 	}
+	n.inbox = n.inbox[:0]
 	n.met.Add(metrics.LB, lbCost)
 	n.busy = true
-	n.pendStart = n.h.k.Now()
+	n.pendStart = n.k.Now()
 	n.pendComm = commCost
 	n.pendContract = contractCost
 	n.endIdle()
-	n.h.k.AfterArg(commCost+contractCost, n.drainDoneFn, n.incarn)
+	n.k.AfterArg(commCost+contractCost, n.drainDoneFn, n.incarn)
 }
 
 func (n *node) drainDone(gen int) {
@@ -411,7 +530,7 @@ func (n *node) drainDone(gen int) {
 	commCost, contractCost, start := n.pendComm, n.pendContract, n.pendStart
 	n.met.Add(metrics.Comm, commCost)
 	n.met.Add(metrics.Contract, contractCost)
-	now := n.h.k.Now()
+	now := n.k.Now()
 	if contractCost > 0 {
 		n.h.cfg.Trace.Add(int(n.id), trace.Contract, start+commCost, now)
 	}
@@ -437,24 +556,24 @@ func (n *node) observeTable() {
 // already broadcast the final root report; the driver settles the books.
 func (n *node) onTerminated() {
 	n.done = true
-	n.detectedAt = n.h.k.Now()
+	n.detectedAt = n.k.Now()
 	n.endIdle()
 	n.met.ObserveTable(n.core.Table().WireSize())
 	n.reqTimer.Cancel()
-	n.h.noteTermination(n)
+	n.sh.noteTermination(n)
 }
 
 // --- idle accounting -----------------------------------------------------------
 
 func (n *node) beginIdle() {
 	if n.idleStart < 0 {
-		n.idleStart = n.h.k.Now()
+		n.idleStart = n.k.Now()
 	}
 }
 
 func (n *node) endIdle() {
 	if n.idleStart >= 0 {
-		now := n.h.k.Now()
+		now := n.k.Now()
 		n.met.Add(metrics.Idle, now-n.idleStart)
 		n.h.cfg.Trace.Add(int(n.id), trace.Idle, n.idleStart, now)
 		n.idleStart = -1
@@ -467,7 +586,7 @@ func (n *node) endIdle() {
 func (n *node) crash() {
 	n.endIdle()
 	n.crashed = true
-	n.crashedAt = n.h.k.Now()
+	n.crashedAt = n.k.Now()
 	n.inbox = nil
 	n.reqTimer.Cancel()
 	n.reportTimer.Cancel()
@@ -487,7 +606,7 @@ func (n *node) restart() {
 		// crashed like any post-termination failure.
 		return
 	}
-	n.h.cfg.Trace.Add(int(n.id), trace.Dead, n.crashedAt, n.h.k.Now())
+	n.h.cfg.Trace.Add(int(n.id), trace.Dead, n.crashedAt, n.k.Now())
 	n.cntPrior = n.cntPrior.Merge(n.core.Counters())
 	n.incarn++
 	n.crashed = false
@@ -505,10 +624,10 @@ func (n *node) restart() {
 		n.h.rejoinMember(n.id)
 	}
 	// Restagger the periodic chains like at boot and resume the main loop.
-	jitter := n.h.k.Rand().Float64()
-	n.reportTimer = n.h.k.After(jitter*n.h.cfg.ReportTimeout, n.reportTickFn)
+	jitter := n.rng.Float64()
+	n.reportTimer = n.k.After(jitter*n.h.cfg.ReportTimeout, n.reportTickFn)
 	if n.h.cfg.TableInterval > 0 {
-		n.tableTimer = n.h.k.After(jitter*n.h.cfg.TableInterval, n.tableTickFn)
+		n.tableTimer = n.k.After(jitter*n.h.cfg.TableInterval, n.tableTickFn)
 	}
 	n.loop()
 }

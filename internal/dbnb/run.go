@@ -40,6 +40,12 @@ type Result struct {
 	DetectTimes []float64
 	// Completions counts completion events summed over processes.
 	Completions int
+	// Events is the total simulator events fired — the denominator of the
+	// events/sec throughput the CLI reports.
+	Events uint64
+	// Shards is how many event shards actually ran (0 = the serial
+	// single-kernel path).
+	Shards int
 	// Met carries the per-process breakdowns, counters and storage peaks.
 	Met *metrics.System
 	// Net carries the network counters.
@@ -63,19 +69,23 @@ type workload struct {
 	sizeHint int
 }
 
-// harness owns one simulated run.
-type harness struct {
-	cfg      Config
-	k        *sim.Kernel
-	nw       *sim.Network
-	w        workload
-	nodes    []*node
-	members  []*member.Member
-	met      *metrics.System
-	union    *ctree.Table // ground truth of all completions, for storage accounting
-	unionOps int
-	expanded map[string]bool // tree nodes expanded at least once
+// shardCtx is one shard's slice of the harness: the kernel and network the
+// shard's processes live on, plus every piece of bookkeeping the driver
+// mutates during the run. Nothing here is shared — a node only ever touches
+// its owner shard's context, from its owner shard's worker goroutine, which
+// is what keeps the parallel run free of driver-level races. The legacy
+// single-kernel mode is exactly one shardCtx with legacy set.
+type shardCtx struct {
+	h      *harness
+	idx    int
+	legacy bool // the bit-identical pre-sharding path (Config.Shards == 0)
+	k      *sim.Kernel
+	nw     *sim.Network
+
+	expanded map[string]bool // tree nodes expanded at least once (shard-local)
 	keyBuf   []byte          // scratch for expansion-map keys
+	union    *ctree.Table    // completions observed by this shard's processes
+	unionOps int
 	// completions counts complete() events across processes (a subproblem
 	// completed by k processes counts k times).
 	completions int
@@ -84,21 +94,39 @@ type harness struct {
 	firstDet    float64
 }
 
-// view returns the members a process may contact. Without the membership
-// protocol the paper's simulations use a predetermined pool: every process
-// except oneself, including crashed ones — failures are not directly
-// detectable (§4), they only manifest as unanswered requests.
+// harness owns one simulated run.
+type harness struct {
+	cfg    Config
+	w      workload
+	mesh   *sim.Mesh // nil in legacy single-kernel mode
+	shards []*shardCtx
+	// k/nw alias shards[0] in legacy mode, for the membership machinery
+	// that only runs there.
+	k  *sim.Kernel
+	nw *sim.Network
+	// ring is the doubled process-id ring: node i's static peer view is
+	// ring[i+1 : i+procs] — every process but i, one shared backing array
+	// for all nodes instead of O(procs²) per-node cached views.
+	// Sharded mode only; the legacy path keeps its original per-node cache
+	// (same elements, different order) for bit-identical runs.
+	ring    []protocol.NodeID
+	nodes   []*node
+	members []*member.Member
+	met     *metrics.System
+}
+
+// shardOf returns the context owning process i.
+func (h *harness) shardOf(i int) *shardCtx {
+	if h.mesh == nil {
+		return h.shards[0]
+	}
+	return h.shards[h.mesh.ShardOf(sim.NodeID(i))]
+}
+
+// view returns the members a process may contact under the membership
+// protocol (§5.2). Only the legacy path runs membership.
 func (h *harness) view(self sim.NodeID) []sim.NodeID {
-	if h.cfg.UseMembership {
-		return h.members[self].Peers()
-	}
-	out := make([]sim.NodeID, 0, len(h.nodes)-1)
-	for i := range h.nodes {
-		if sim.NodeID(i) != self {
-			out = append(out, sim.NodeID(i))
-		}
-	}
-	return out
+	return h.members[self].Peers()
 }
 
 // rejoinMember replaces a restarted process's membership agent with a fresh
@@ -117,42 +145,46 @@ func (h *harness) rejoinMember(id sim.NodeID) {
 // noteExpansion tracks redundant work: expansions of tree nodes some process
 // already expanded. The key is encoded into a reused scratch buffer; the
 // compiler elides the string conversion on lookup, so only first-time
-// expansions allocate (their map key).
-func (h *harness) noteExpansion(n *node, c code.Code) {
-	h.keyBuf = c.EncodeInto(h.keyBuf)
-	if h.expanded[string(h.keyBuf)] {
+// expansions allocate (their map key). Sharded runs dedup within each shard
+// and merge the key sets after the run, so Result.Unique is exact; only the
+// per-node Redundant tallies become shard-local approximations there.
+func (sh *shardCtx) noteExpansion(n *node, c code.Code) {
+	sh.keyBuf = c.EncodeInto(sh.keyBuf)
+	if sh.expanded[string(sh.keyBuf)] {
 		n.met.Redundant++
 		return
 	}
-	h.expanded[string(h.keyBuf)] = true
+	sh.expanded[string(sh.keyBuf)] = true
 }
 
-// noteCompletion maintains the global union of completion information; its
-// peak wire size is the "one shared copy" baseline against which replicated
+// noteCompletion maintains the union of completion information; its peak
+// wire size is the "one shared copy" baseline against which replicated
 // storage is called redundant. Sampled for the same reason as observeTable.
-func (h *harness) noteCompletion(c code.Code) {
-	h.completions++
-	h.union.Insert(c)
-	h.unionOps++
-	if h.unionOps%32 == 0 {
-		h.met.ObserveUnique(h.union.WireSize())
+// Sharded runs keep per-shard unions (the metrics sink is shared, so
+// mid-run sampling is legacy-only) merged for the final observation.
+func (sh *shardCtx) noteCompletion(c code.Code) {
+	sh.completions++
+	sh.union.Insert(c)
+	sh.unionOps++
+	if sh.legacy && sh.unionOps%32 == 0 {
+		sh.h.met.ObserveUnique(sh.union.WireSize())
 	}
 }
 
 // noteTermination records a process's detection.
-func (h *harness) noteTermination(n *node) {
-	h.detected++
-	now := h.k.Now()
-	if h.detected == 1 || now < h.firstDet {
-		h.firstDet = now
+func (sh *shardCtx) noteTermination(n *node) {
+	sh.detected++
+	now := sh.k.Now()
+	if sh.detected == 1 || now < sh.firstDet {
+		sh.firstDet = now
 	}
-	if now > h.lastDet {
-		h.lastDet = now
+	if now > sh.lastDet {
+		sh.lastDet = now
 	}
-	if h.cfg.UseMembership {
+	if sh.h.cfg.UseMembership {
 		// Leave the group so membership heartbeats quiesce; peers time the
 		// process out exactly as they would a failed one (§5.2).
-		h.members[n.id].Leave()
+		sh.h.members[n.id].Leave()
 	}
 }
 
@@ -218,33 +250,90 @@ func costJitter(c code.Code) float64 {
 	return 0.5 + float64(h%1024)/1024
 }
 
+// shardLookahead computes the static safe lookahead of a config: the
+// minimum virtual delay any cross-shard message can have. The latency
+// model is monotone in size, so its zero-byte value lower-bounds every
+// send; replay copies can surface after only ReplayDelay.
+func shardLookahead(cfg Config) float64 {
+	la := cfg.Latency(0)
+	if cfg.Replay > 0 {
+		rd := cfg.ReplayDelay
+		if rd <= 0 {
+			rd = 1 // SetReplay's default floor
+		}
+		if rd < la {
+			la = rd
+		}
+	}
+	return la
+}
+
+// shardCount resolves how many shards a run actually uses: 0 is the legacy
+// single-kernel path, and features whose state cannot be partitioned —
+// membership, tracing, fire hooks, a latency model with no positive floor —
+// force it.
+func shardCount(cfg Config) int {
+	s := cfg.Shards
+	if s < 0 {
+		s = 0
+	}
+	if s > cfg.Procs {
+		s = cfg.Procs
+	}
+	if s >= 1 && (cfg.UseMembership || cfg.Trace != nil || cfg.fireHook != nil || shardLookahead(cfg) <= 0) {
+		s = 0
+	}
+	return s
+}
+
 func run(cfg Config, w workload) Result {
 	cfg = cfg.withDefaults()
-	h := &harness{
-		cfg:      cfg,
-		k:        sim.New(cfg.Seed),
-		w:        w,
-		met:      metrics.NewSystem(cfg.Procs),
-		union:    ctree.New(),
-		expanded: make(map[string]bool, w.sizeHint),
-	}
-	if cfg.fireHook != nil {
-		h.k.SetFireHook(cfg.fireHook)
-	}
-	h.nw = sim.NewNetwork(h.k, cfg.Latency)
-	h.nw.SetLoss(cfg.Loss)
-	// Unconditional, like SetLoss: a malformed probability (a sign typo for
-	// a knob the user believes is on) must panic, not silently run a
-	// well-behaved network.
-	h.nw.SetDuplicate(cfg.Duplicate)
-	h.nw.SetReorder(cfg.Reorder, cfg.ReorderWindow)
-	h.nw.SetReplay(cfg.Replay, cfg.ReplayDelay)
-	for _, p := range cfg.Partitions {
-		ids := make([]sim.NodeID, len(p.Group))
-		for i, g := range p.Group {
-			ids[i] = sim.NodeID(g)
+	h := &harness{cfg: cfg, w: w, met: metrics.NewSystem(cfg.Procs)}
+
+	if S := shardCount(cfg); S >= 1 {
+		h.mesh = sim.NewMesh(cfg.Seed, S, cfg.Latency, shardLookahead(cfg))
+		h.mesh.PlaceBlocks(cfg.Procs)
+		h.shards = make([]*shardCtx, S)
+		for s := 0; s < S; s++ {
+			h.shards[s] = &shardCtx{
+				h: h, idx: s, k: h.mesh.Kernel(s), nw: h.mesh.Net(s),
+				union:    ctree.New(),
+				expanded: make(map[string]bool, w.sizeHint/S+1),
+			}
 		}
-		h.nw.AddPartition(p.Start, p.End, ids)
+		h.ring = make([]protocol.NodeID, 2*cfg.Procs)
+		for i := 0; i < cfg.Procs; i++ {
+			h.ring[i] = protocol.NodeID(i)
+			h.ring[i+cfg.Procs] = protocol.NodeID(i)
+		}
+	} else {
+		h.k = sim.New(cfg.Seed)
+		if cfg.fireHook != nil {
+			h.k.SetFireHook(cfg.fireHook)
+		}
+		h.nw = sim.NewNetwork(h.k, cfg.Latency)
+		h.shards = []*shardCtx{{
+			h: h, legacy: true, k: h.k, nw: h.nw,
+			union:    ctree.New(),
+			expanded: make(map[string]bool, w.sizeHint),
+		}}
+	}
+
+	for _, sh := range h.shards {
+		sh.nw.SetLoss(cfg.Loss)
+		// Unconditional, like SetLoss: a malformed probability (a sign typo
+		// for a knob the user believes is on) must panic, not silently run a
+		// well-behaved network.
+		sh.nw.SetDuplicate(cfg.Duplicate)
+		sh.nw.SetReorder(cfg.Reorder, cfg.ReorderWindow)
+		sh.nw.SetReplay(cfg.Replay, cfg.ReplayDelay)
+		for _, p := range cfg.Partitions {
+			ids := make([]sim.NodeID, len(p.Group))
+			for i, g := range p.Group {
+				ids[i] = sim.NodeID(g)
+			}
+			sh.nw.AddPartition(p.Start, p.End, ids)
+		}
 	}
 
 	h.nodes = make([]*node, cfg.Procs)
@@ -253,7 +342,8 @@ func run(cfg Config, w workload) Result {
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		id := sim.NodeID(i)
-		h.nodes[i] = newNode(id, h)
+		sh := h.shardOf(i)
+		h.nodes[i] = newNode(id, h, sh)
 		n := h.nodes[i]
 		if cfg.UseMembership {
 			h.members[i] = member.New(h.k, h.nw, id, []sim.NodeID{0}, member.DefaultConfig())
@@ -268,7 +358,7 @@ func run(cfg Config, w workload) Result {
 			})
 			h.members[i].Join()
 		} else {
-			h.nw.Register(id, n.deliver)
+			sh.nw.Register(id, n.deliver)
 		}
 	}
 
@@ -281,12 +371,12 @@ func run(cfg Config, w workload) Result {
 		// Stagger periodic timers so they do not synchronize system-wide.
 		// The handles are kept so a crash before the first tick can cancel
 		// the boot chain — a restart starts a fresh one.
-		jitter := h.k.Rand().Float64()
-		n.reportTimer = h.k.At(jitter*cfg.ReportTimeout, n.reportTickFn)
+		jitter := n.rng.Float64()
+		n.reportTimer = n.k.At(jitter*cfg.ReportTimeout, n.reportTickFn)
 		if cfg.TableInterval > 0 {
-			n.tableTimer = h.k.At(jitter*cfg.TableInterval, n.tableTickFn)
+			n.tableTimer = n.k.At(jitter*cfg.TableInterval, n.tableTickFn)
 		}
-		h.k.At(0, n.loop)
+		n.k.At(0, n.loop)
 	}
 
 	for _, c := range cfg.Crashes {
@@ -294,38 +384,86 @@ func run(cfg Config, w workload) Result {
 		if c.Node < 0 || c.Node >= cfg.Procs {
 			continue
 		}
-		h.k.At(c.Time, func() {
-			h.nw.Crash(sim.NodeID(c.Node))
+		// Failure events live on the failing process's own shard: crash
+		// state is owned by the shard's network, like every delivery check.
+		sh := h.shardOf(c.Node)
+		sh.k.At(c.Time, func() {
+			sh.nw.Crash(sim.NodeID(c.Node))
 			h.nodes[c.Node].crash()
 		})
 		if c.Restart > c.Time {
 			// Crash-restart: the process reboots under its old identity and
 			// rebuilds from gossip. Restore first so the rejoin traffic the
 			// restart triggers is not swallowed by its own crashed mark.
-			h.k.At(c.Restart, func() {
-				h.nw.Restore(sim.NodeID(c.Node))
+			sh.k.At(c.Restart, func() {
+				sh.nw.Restore(sim.NodeID(c.Node))
 				h.nodes[c.Node].restart()
 			})
 		}
 	}
 
-	end := h.k.Run(cfg.MaxTime)
+	var end float64
+	if h.mesh != nil {
+		end = h.mesh.Run(cfg.MaxTime)
+	} else {
+		end = h.k.Run(cfg.MaxTime)
+	}
+
+	// Fold the per-shard detection records together.
+	detected, completions := 0, 0
+	firstDet, lastDet := 0.0, 0.0
+	for _, sh := range h.shards {
+		if sh.detected > 0 {
+			if detected == 0 || sh.firstDet < firstDet {
+				firstDet = sh.firstDet
+			}
+			if sh.lastDet > lastDet {
+				lastDet = sh.lastDet
+			}
+			detected += sh.detected
+		}
+		completions += sh.completions
+	}
 	// Leftover staggered timer events can outlive the computation; clamp the
 	// trace window to when the run actually finished.
 	traceEnd := end
-	if h.detected > 0 && h.lastDet < traceEnd {
-		traceEnd = h.lastDet
+	if detected > 0 && lastDet < traceEnd {
+		traceEnd = lastDet
 	}
 
 	res := Result{
-		Time:        h.lastDet,
-		FirstDetect: h.firstDet,
+		Time:        lastDet,
+		FirstDetect: firstDet,
 		Optimum:     math.Inf(1),
 		DetectTimes: make([]float64, cfg.Procs),
 		Met:         h.met,
-		Net:         h.nw.Stats(),
-		Unique:      len(h.expanded),
-		Completions: h.completions,
+		Completions: completions,
+		Shards:      len(h.shards),
+	}
+	if h.mesh != nil {
+		res.Net = h.mesh.Stats()
+		res.Events = h.mesh.Events()
+	} else {
+		res.Net = h.nw.Stats()
+		res.Events = h.k.Events()
+		res.Shards = 0
+	}
+	// Distinct expansions: exact in both modes — shard-local dedup sets are
+	// merged here, after the run.
+	if len(h.shards) == 1 {
+		res.Unique = len(h.shards[0].expanded)
+	} else {
+		total := 0
+		for _, sh := range h.shards {
+			total += len(sh.expanded)
+		}
+		seen := make(map[string]bool, total)
+		for _, sh := range h.shards {
+			for k := range sh.expanded {
+				seen[k] = true
+			}
+		}
+		res.Unique = len(seen)
 	}
 	trueOpt := h.w.trueOpt
 	res.Terminated = true
@@ -366,6 +504,10 @@ func run(cfg Config, w workload) Result {
 	res.Redundant = res.Expanded - res.Unique
 	res.OptimumOK = res.Terminated && res.Optimum == trueOpt
 	// Final storage observations (peaks may have been missed by sampling).
-	h.met.ObserveUnique(h.union.WireSize())
+	union := h.shards[0].union
+	for _, sh := range h.shards[1:] {
+		union.Merge(sh.union)
+	}
+	h.met.ObserveUnique(union.WireSize())
 	return res
 }

@@ -42,6 +42,15 @@ type Sender interface {
 	Send(to NodeID, m Msg)
 }
 
+// BroadcastSender is an optional Sender capability: deliver one message to
+// a whole peer set. The termination broadcast of §5.4 — the only procs-wide
+// fan-out in the protocol — dispatches through it when available, letting a
+// transport collapse the procs² message storm into per-destination group
+// deliveries. A plain Sender gets the equivalent per-peer Send loop.
+type BroadcastSender interface {
+	Broadcast(peers []NodeID, m Msg)
+}
+
 // Expander is the full expansion contract of §5.3.1: subproblem codes are
 // self-contained, so together with the initial problem data an Expander can
 // resolve any code into live pool state and branch it. Implementations are
@@ -788,7 +797,12 @@ func (c *Core) detectTermination() {
 	// allocation × peers × processes at the end of every run — the single
 	// largest allocator in the 1000-process stress tier.
 	var m Msg = Report{Codes: []code.Code{code.Root()}, Incumbent: c.incumbent, ActAge: c.ActivityAge()}
-	for _, p := range c.d.Peers() {
+	peers := c.d.Peers()
+	if bs, ok := c.d.Sender.(BroadcastSender); ok {
+		bs.Broadcast(peers, m)
+		return
+	}
+	for _, p := range peers {
 		c.d.Sender.Send(p, m)
 	}
 }

@@ -1,0 +1,118 @@
+package sim
+
+import "math"
+
+// The conservative lookahead barrier.
+//
+// Safety argument: let T = min over shards of the earliest pending event
+// time, and L = the mesh lookahead (static minimum cross-shard delay).
+// Any event that fires in this window does so at some t ≥ T, and any
+// cross-shard message it sends arrives at t + delay ≥ T + L. So every
+// pending event with time strictly below the horizon H = T + L can be
+// fired WITHOUT seeing any message the other shards have not sent yet:
+// nothing that arrives later in wall-clock time can carry a virtual
+// timestamp below H. Events at exactly H must wait — an event firing at
+// exactly T on another shard can produce an arrival at exactly H.
+//
+// Progress: the shard holding T always qualifies (T < T + L since L > 0),
+// so every round fires at least one event; the barrier cannot live-lock.
+
+// meshCmd is one instruction to a shard worker: either "fire your events
+// strictly below horizon (and at most until)" or "drain your inbound
+// mailboxes into your kernel".
+type meshCmd struct {
+	horizon, until float64
+	drain          bool
+}
+
+// Run advances the whole mesh until every shard's next event would exceed
+// until (or nothing is pending), and returns the final virtual time — the
+// max over shard clocks. With one shard there is nothing to synchronize:
+// the single kernel runs its ordinary serial loop, producing the exact
+// same event sequence a standalone Kernel would.
+func (m *Mesh) Run(until float64) float64 {
+	S := len(m.kernels)
+	if S == 1 {
+		// A 1-shard mesh never has cross-shard traffic (route() always
+		// picks the local path), so plain Run is trajectory-identical.
+		return m.kernels[0].Run(until)
+	}
+	m.startWorkers()
+	defer m.stopWorkers()
+	for {
+		// Drain phase: shards with inbound mail schedule it into their
+		// kernels, in parallel. Draining first picks up both mail produced
+		// by the previous window AND mail enqueued before Run was called
+		// (or left past a previous Run's deadline), so T below always sees
+		// the true earliest pending work.
+		busy := 0
+		for s := range m.kernels {
+			if m.hasInbound(s) {
+				m.workers[s] <- meshCmd{drain: true}
+				busy++
+			}
+		}
+		for i := 0; i < busy; i++ {
+			<-m.done
+		}
+		T := math.Inf(1)
+		for _, k := range m.kernels {
+			if t := k.NextTime(); t < T {
+				T = t
+			}
+		}
+		if T > until || math.IsInf(T, 1) {
+			// Past the deadline, or every queue drained. The explicit Inf
+			// check matters when until is itself +Inf (run to completion):
+			// Inf > Inf is false.
+			break
+		}
+		horizon := T + m.lookahead
+		// Run phase: every shard with work inside the window fires in
+		// parallel; cross-shard sends land in mailboxes. The channel
+		// synchronization between the phases is what makes mailbox rows
+		// single-writer-then-single-reader — never concurrent.
+		busy = 0
+		for s, k := range m.kernels {
+			if t := k.NextTime(); t < horizon && t <= until {
+				m.workers[s] <- meshCmd{horizon: horizon, until: until}
+				busy++
+			}
+		}
+		for i := 0; i < busy; i++ {
+			<-m.done
+		}
+	}
+	return m.Now()
+}
+
+// startWorkers launches one goroutine per shard, each serving commands for
+// exactly its own kernel/network/mailbox row — the single-goroutine
+// discipline every Kernel requires, preserved under parallelism.
+func (m *Mesh) startWorkers() {
+	S := len(m.kernels)
+	m.workers = make([]chan meshCmd, S)
+	m.done = make(chan int, S)
+	for s := 0; s < S; s++ {
+		cmd := make(chan meshCmd)
+		m.workers[s] = cmd
+		go func(s int, cmd chan meshCmd) {
+			for c := range cmd {
+				if c.drain {
+					m.drain(s)
+				} else {
+					m.kernels[s].RunWindow(c.horizon, c.until)
+				}
+				m.done <- s
+			}
+		}(s, cmd)
+	}
+}
+
+// stopWorkers shuts the worker goroutines down; the mesh can Run again.
+func (m *Mesh) stopWorkers() {
+	for _, cmd := range m.workers {
+		close(cmd)
+	}
+	m.workers = nil
+}

@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 )
 
@@ -260,36 +261,84 @@ func (k *Kernel) Deliver(d float64, h Handler, from NodeID, msg Message) Event {
 // occurred.
 func (k *Kernel) Run(until float64) float64 {
 	for len(k.heap) > 0 {
-		idx := k.heap[0]
-		s := k.key(idx)
-		if s.time > until {
+		if k.key(k.heap[0]).time > until {
 			break
 		}
-		// Copy the payload out, then recycle the slot BEFORE dispatching:
-		// the callback may schedule new events, and handing it this very
-		// slot back is what makes the steady-state cycle allocation-free.
-		t, seq := s.time, s.seq
-		p := k.payload(idx)
-		kind := p.kind
-		fn, argFn, arg := p.fn, p.argFn, p.arg
-		h, from, msg := p.h, p.from, p.msg
-		k.removeAt(0)
-		k.release(idx)
-		k.now = t
-		k.fired++
-		if k.hook != nil {
-			k.hook(t, seq)
-		}
-		switch kind {
-		case kindFunc:
-			fn()
-		case kindArg:
-			argFn(arg)
-		default:
-			h(from, msg)
-		}
+		k.step()
 	}
 	return k.now
+}
+
+// step fires the root of the heap: copy the payload out, recycle the slot
+// BEFORE dispatching — the callback may schedule new events, and handing it
+// this very slot back is what makes the steady-state cycle allocation-free.
+func (k *Kernel) step() {
+	idx := k.heap[0]
+	s := k.key(idx)
+	t, seq := s.time, s.seq
+	p := k.payload(idx)
+	kind := p.kind
+	fn, argFn, arg := p.fn, p.argFn, p.arg
+	h, from, msg := p.h, p.from, p.msg
+	k.removeAt(0)
+	k.release(idx)
+	k.now = t
+	k.fired++
+	if k.hook != nil {
+		k.hook(t, seq)
+	}
+	switch kind {
+	case kindFunc:
+		fn()
+	case kindArg:
+		argFn(arg)
+	default:
+		h(from, msg)
+	}
+}
+
+// NextTime returns the virtual time of the earliest pending event, or
+// +Inf when the queue is empty. The parallel coordinator uses it to compute
+// the global lower bound T that anchors each conservative window.
+func (k *Kernel) NextTime() float64 {
+	if len(k.heap) == 0 {
+		return math.Inf(1)
+	}
+	return k.key(k.heap[0]).time
+}
+
+// RunWindow fires events while their time is strictly below before and at
+// most until, in (time, seq) order, and returns the new current time. It is
+// Run restricted to the half-open window [now, min(before, until+)): the
+// conservative-lookahead barrier guarantees no cross-shard message can
+// arrive before the horizon, so everything strictly inside it is safe to
+// fire without synchronization.
+func (k *Kernel) RunWindow(before, until float64) float64 {
+	for len(k.heap) > 0 {
+		t := k.key(k.heap[0]).time
+		if t >= before || t > until {
+			break
+		}
+		k.step()
+	}
+	return k.now
+}
+
+// DeliverAt schedules h(from, msg) at absolute virtual time t, clamped to
+// now — the cross-shard drain path: a mailbox message carries the absolute
+// arrival time stamped by the sending shard, and the lookahead barrier
+// guarantees t is (weakly) ahead of every receiving shard's clock.
+func (k *Kernel) DeliverAt(t float64, h Handler, from NodeID, msg Message) Event {
+	if t < k.now {
+		t = k.now
+	}
+	idx := k.alloc(t)
+	p := k.payload(idx)
+	p.kind = kindMsg
+	p.h = h
+	p.from = from
+	p.msg = msg
+	return Event{k: k, idx: idx, gen: k.key(idx).gen}
 }
 
 // Pending returns the number of scheduled events still due to fire.

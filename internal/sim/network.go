@@ -2,7 +2,9 @@ package sim
 
 import "fmt"
 
-// NodeID identifies a simulated process.
+// NodeID identifies a simulated process. IDs are dense small integers —
+// the network's per-node tables are slices indexed by NodeID, not maps, so
+// the per-message bookkeeping on the Send hot path is two array stores.
 type NodeID int
 
 // Message is a network payload. Size drives the communication-cost model;
@@ -13,6 +15,9 @@ type Message interface{ Size() int }
 type Handler func(from NodeID, msg Message)
 
 // LatencyModel maps a message size in bytes to a one-way delay in seconds.
+// Models must be monotone non-decreasing in size: the sharded mesh derives
+// its safe lookahead from the zero-byte latency, which must lower-bound
+// every real delay.
 type LatencyModel func(bytes int) float64
 
 // LinearLatency returns the paper's communication model: base + perByte·L,
@@ -46,12 +51,30 @@ type NetStats struct {
 	Replayed   int64 // stale copies injected by the replay model
 }
 
+// add folds o into s — the mesh merges per-shard counter sets with it.
+func (s *NetStats) add(o NetStats) {
+	s.Sent += o.Sent
+	s.Delivered += o.Delivered
+	s.Lost += o.Lost
+	s.Cut += o.Cut
+	s.ToDead += o.ToDead
+	s.Bytes += o.Bytes
+	s.Duplicated += o.Duplicated
+	s.Reordered += o.Reordered
+	s.Replayed += o.Replayed
+}
+
 // Network delivers messages between registered nodes under a latency model,
 // optional uniform loss, crash failures, and temporary partitions — the
 // target-architecture assumptions of §4: unbounded delivery time and
 // possible loss. §4 additionally permits duplicated and arbitrarily
 // reordered delivery; SetDuplicate, SetReorder and SetReplay turn those on,
 // widening the default well-behaved network into the full adversarial model.
+//
+// A Network is single-goroutine, like its Kernel. In a sharded Mesh every
+// shard owns one Network; each mutates only its own counters and tables
+// (merged read-only at Stats time), which is what makes the parallel run
+// race-free by construction rather than by locking.
 type Network struct {
 	k        *Kernel
 	latency  LatencyModel
@@ -66,18 +89,25 @@ type Network struct {
 	reorderWindow float64
 	replayProb    float64
 	replayDelay   float64
-	handlers      map[NodeID]Handler
-	crashed       map[NodeID]bool
+	handlers      []Handler
+	crashed       []bool
 	parts         []partition
 	stats         NetStats
-	sentBytes     map[NodeID]int64 // per-sender payload bytes
-	sentMsgs      map[NodeID]int64
+	sentBytes     []int64 // per-sender payload bytes
+	sentMsgs      []int64
 	// deliverTo caches one destination-bound delivery callback per receiver,
 	// so scheduling a message costs no capture closure: the kernel's typed
 	// delivery event carries (callback, from, msg) in its pooled slot, and
 	// the callback closes over only the destination — allocated once per
 	// node ever, not once per message.
-	deliverTo map[NodeID]Handler
+	deliverTo []Handler
+
+	// mesh/self route cross-shard traffic when this network is one shard of
+	// a Mesh: a Send whose destination lives on another shard is stamped
+	// with its absolute arrival time and enqueued in the shard-pair mailbox
+	// instead of the local kernel. Both are nil/0 for a standalone Network.
+	mesh *Mesh
+	self int
 }
 
 // NewNetwork creates a network on k with the given latency model.
@@ -86,15 +116,7 @@ func NewNetwork(k *Kernel, latency LatencyModel) *Network {
 	if latency == nil {
 		latency = func(int) float64 { return 0 }
 	}
-	return &Network{
-		k:         k,
-		latency:   latency,
-		handlers:  map[NodeID]Handler{},
-		crashed:   map[NodeID]bool{},
-		sentBytes: map[NodeID]int64{},
-		sentMsgs:  map[NodeID]int64{},
-		deliverTo: map[NodeID]Handler{},
-	}
+	return &Network{k: k, latency: latency}
 }
 
 // SetLoss sets the independent per-message loss probability.
@@ -146,10 +168,25 @@ func checkProb(what string, p float64) float64 {
 	return p
 }
 
+// grow extends the per-node tables to cover id.
+func (n *Network) grow(id NodeID) {
+	if id < 0 {
+		panic(fmt.Sprintf("sim: negative node id %d", id))
+	}
+	for int(id) >= len(n.handlers) {
+		n.handlers = append(n.handlers, nil)
+		n.crashed = append(n.crashed, false)
+		n.sentBytes = append(n.sentBytes, 0)
+		n.sentMsgs = append(n.sentMsgs, 0)
+		n.deliverTo = append(n.deliverTo, nil)
+	}
+}
+
 // Register installs the message handler for id. Registering twice panics —
 // it would hide a scenario wiring bug.
 func (n *Network) Register(id NodeID, h Handler) {
-	if _, dup := n.handlers[id]; dup {
+	n.grow(id)
+	if n.handlers[id] != nil {
 		panic(fmt.Sprintf("sim: node %d registered twice", id))
 	}
 	n.handlers[id] = h
@@ -158,17 +195,25 @@ func (n *Network) Register(id NodeID, h Handler) {
 // Crash marks id as halted (the Crash failure model of §4: a processor fails
 // by halting). Messages to and from it vanish; its handler does not run
 // again unless the node is restored.
-func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+func (n *Network) Crash(id NodeID) {
+	n.grow(id)
+	n.crashed[id] = true
+}
 
 // Restore clears id's crashed mark: the process rebooted and rejoined under
 // its old identity. Messages sent to it while it was down stay lost, but a
 // message already in flight whose delivery time falls after the restore is
 // delivered — the wire does not know the process was ever away, which is
 // exactly the stale-delivery hazard a restarted process must tolerate.
-func (n *Network) Restore(id NodeID) { delete(n.crashed, id) }
+func (n *Network) Restore(id NodeID) {
+	n.grow(id)
+	n.crashed[id] = false
+}
 
 // Crashed reports whether id has halted.
-func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
+func (n *Network) Crashed(id NodeID) bool {
+	return int(id) < len(n.crashed) && n.crashed[id]
+}
 
 // AddPartition isolates group from the rest of the network during
 // [start, end) of virtual time.
@@ -193,16 +238,22 @@ func (n *Network) separated(a, b NodeID, t float64) bool {
 // Send queues msg for delivery from -> to under the latency model. Sends
 // from or to crashed nodes, lost messages, and partitioned links all vanish
 // silently — exactly the asynchronous model the algorithm must tolerate.
+//
+// In a Mesh, the crashed-destination check moves to delivery time for
+// cross-shard sends (the sender's shard cannot see a remote node's crash
+// state without synchronizing on it); the message still vanishes, it is
+// just counted ToDead by the receiving shard.
 func (n *Network) Send(from, to NodeID, msg Message) {
-	if n.crashed[from] {
+	if n.Crashed(from) {
 		return
 	}
+	n.grow(from)
 	n.stats.Sent++
 	sz := msg.Size()
 	n.stats.Bytes += int64(sz)
 	n.sentBytes[from] += int64(sz)
 	n.sentMsgs[from]++
-	if n.crashed[to] {
+	if n.Crashed(to) {
 		n.stats.ToDead++
 		return
 	}
@@ -216,30 +267,50 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 		delay += n.k.Rand().Float64() * n.reorderWindow
 		n.stats.Reordered++
 	}
-	n.schedule(from, to, msg, delay)
+	n.route(from, to, msg, delay)
 	if n.dupProb > 0 && n.k.Rand().Float64() < n.dupProb {
 		// The duplicate draws its own latency, so the copies race.
 		n.stats.Duplicated++
-		n.schedule(from, to, msg, n.latency(sz))
+		n.route(from, to, msg, n.latency(sz))
 	}
 	if n.replayProb > 0 && n.k.Rand().Float64() < n.replayProb {
 		// A stale copy surfaces much later — a retransmit buffer flushing, a
 		// route flap healing — when the system has long moved past it.
 		n.stats.Replayed++
-		n.schedule(from, to, msg, n.replayDelay*(1+n.k.Rand().Float64()))
+		n.route(from, to, msg, n.replayDelay*(1+n.k.Rand().Float64()))
 	}
+}
+
+// route sends one delivery attempt to the local kernel or, when the
+// destination lives on another shard of a Mesh, to the shard-pair mailbox
+// with its absolute arrival time. The lookahead barrier guarantees the
+// arrival time is still in the receiving shard's future at drain time.
+func (n *Network) route(from, to NodeID, msg Message, delay float64) {
+	if m := n.mesh; m != nil {
+		if d := m.ShardOf(to); d != n.self {
+			m.enqueue(n.self, d, n.k.now+delay, from, to, msg)
+			return
+		}
+	}
+	n.schedule(from, to, msg, delay)
+}
+
+// deliverHandler returns the cached destination-bound delivery callback.
+func (n *Network) deliverHandler(to NodeID) Handler {
+	n.grow(to)
+	h := n.deliverTo[to]
+	if h == nil {
+		h = func(from NodeID, msg Message) { n.deliverNow(from, to, msg) }
+		n.deliverTo[to] = h
+	}
+	return h
 }
 
 // schedule queues one delivery attempt of msg after delay through the
 // kernel's typed delivery event — no per-message closure; the pooled event
 // slot carries the payload.
 func (n *Network) schedule(from, to NodeID, msg Message, delay float64) {
-	h := n.deliverTo[to]
-	if h == nil {
-		h = func(from NodeID, msg Message) { n.deliverNow(from, to, msg) }
-		n.deliverTo[to] = h
-	}
-	n.k.Deliver(delay, h, from, msg)
+	n.k.Deliver(delay, n.deliverHandler(to), from, msg)
 }
 
 // deliverNow runs one delivery attempt at its scheduled time. Every check is
@@ -249,7 +320,7 @@ func (n *Network) schedule(from, to NodeID, msg Message, delay float64) {
 // halts the process, not the wire. The handler is also looked up at delivery
 // time, so a receiver registered mid-flight still gets the message.
 func (n *Network) deliverNow(from, to NodeID, msg Message) {
-	if n.crashed[to] {
+	if n.Crashed(to) {
 		n.stats.ToDead++
 		return
 	}
@@ -257,19 +328,100 @@ func (n *Network) deliverNow(from, to NodeID, msg Message) {
 		n.stats.Cut++
 		return
 	}
-	h, ok := n.handlers[to]
-	if !ok {
+	if int(to) >= len(n.handlers) {
+		return
+	}
+	h := n.handlers[to]
+	if h == nil {
 		return
 	}
 	n.stats.Delivered++
 	h(from, msg)
 }
 
+// BroadcastRange sends msg from -> every node in the mesh ring range
+// [lo, lo+cnt) (positions mod ring size), the one-event-per-shard fast path
+// for the protocol's termination broadcast. A procs² broadcast materialized
+// as individual deliveries is what caps the simulator's scale: at 10k
+// processes it is 10⁸ pending events (gigabytes of arena). This path
+// instead enqueues ONE group entry per destination shard; the group fires
+// as one kernel event that walks only the shard's own slice of the ring.
+// Legal only under a failure-free network (no loss/dup/reorder/replay —
+// those need independent per-recipient draws) and only on a Mesh; the
+// caller falls back to per-recipient Send otherwise.
+func (n *Network) BroadcastRange(from NodeID, lo, cnt int, msg Message) {
+	m := n.mesh
+	if m == nil {
+		panic("sim: BroadcastRange on a standalone Network")
+	}
+	if cnt <= 0 || n.Crashed(from) {
+		return
+	}
+	if n.lossProb > 0 || n.dupProb > 0 || n.reorderProb > 0 || n.replayProb > 0 {
+		// Chaos knobs need one independent draw per recipient.
+		for j := 0; j < cnt; j++ {
+			n.Send(from, NodeID((lo+j)%m.n), msg)
+		}
+		return
+	}
+	n.grow(from)
+	sz := msg.Size()
+	n.stats.Sent += int64(cnt)
+	n.stats.Bytes += int64(sz) * int64(cnt)
+	n.sentBytes[from] += int64(sz) * int64(cnt)
+	n.sentMsgs[from] += int64(cnt)
+	m.broadcast(n.self, n.k.now+n.latency(sz), from, lo, cnt, msg)
+}
+
+// deliverRing delivers one broadcast group to this shard's slice of the
+// ring: every owned id whose ring position falls in [lo, lo+cnt) mod n.
+// Per-recipient crash/partition state is checked here, at delivery time,
+// exactly like deliverNow.
+func (n *Network) deliverRing(from NodeID, lo, cnt int, msg Message) {
+	m := n.mesh
+	blo, bhi := int(m.blockLo[n.self]), int(m.blockHi[n.self])
+	checkParts := len(n.parts) > 0
+	t := n.k.Now()
+	for id := blo; id < bhi; id++ {
+		d := id - lo
+		if d < 0 {
+			d += m.n
+		}
+		if d >= cnt {
+			continue
+		}
+		if n.crashed[id] {
+			n.stats.ToDead++
+			continue
+		}
+		if checkParts && n.separated(from, NodeID(id), t) {
+			n.stats.Cut++
+			continue
+		}
+		h := n.handlers[id]
+		if h == nil {
+			continue
+		}
+		n.stats.Delivered++
+		h(from, msg)
+	}
+}
+
 // Stats returns a copy of the aggregate counters.
 func (n *Network) Stats() NetStats { return n.stats }
 
 // SentBytes returns the payload bytes sent by id.
-func (n *Network) SentBytes(id NodeID) int64 { return n.sentBytes[id] }
+func (n *Network) SentBytes(id NodeID) int64 {
+	if int(id) >= len(n.sentBytes) {
+		return 0
+	}
+	return n.sentBytes[id]
+}
 
 // SentMessages returns the number of messages sent by id.
-func (n *Network) SentMessages(id NodeID) int64 { return n.sentMsgs[id] }
+func (n *Network) SentMessages(id NodeID) int64 {
+	if int(id) >= len(n.sentMsgs) {
+		return 0
+	}
+	return n.sentMsgs[id]
+}
