@@ -18,9 +18,12 @@
 // allocs/op ratio above -gate-allocs (default 1.5), or ns/op ratio above
 // -gate-ns (default 1.5) for benchmarks whose baseline is at least
 // -gate-min-ns (default 50 ms; shorter benches are one-iteration timing
-// noise, so only their allocations are gated). A benchmark present in the
-// baseline but missing from the run also fails the gate: silently dropping
-// a benchmark must not pass.
+// noise, so only their allocations are gated), or wire-B/op ratio above
+// -gate-bytes (default 1.5) for benchmarks that report the custom wire-B/op
+// metric (seeded simulated runs, so the ratio is machine-independent — a
+// wire-cost regression in the gossip protocol fails CI like an allocation
+// regression does). A benchmark present in the baseline but missing from
+// the run also fails the gate: silently dropping a benchmark must not pass.
 //
 // With -gate-parallel R (no baseline needed), the command additionally
 // compares sibling benchmarks WITHIN the fresh run: for every pair
@@ -59,10 +62,14 @@ type Bench struct {
 	SecPerOp    float64 `json:"sec_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// WireBPerOp is the custom wire-B/op metric (simulated network payload
+	// bytes per run) reported by BenchmarkReportBytes; -1 when absent. Fully
+	// seeded runs make it exact and machine-independent.
+	WireBPerOp float64 `json:"wire_b_per_op"`
 }
 
 var (
-	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.e+]+) wire-B/op)?(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 	metaLine  = regexp.MustCompile(`^(goos|goarch): (\S+)`)
 )
 
@@ -71,6 +78,7 @@ func main() {
 	gate := flag.Bool("gate", false, "exit non-zero when any benchmark regresses past the -gate-* thresholds (requires -baseline)")
 	gateNs := flag.Float64("gate-ns", 1.5, "max allowed ns/op ratio vs baseline")
 	gateAllocs := flag.Float64("gate-allocs", 1.5, "max allowed allocs/op ratio vs baseline")
+	gateBytes := flag.Float64("gate-bytes", 1.5, "max allowed wire-B/op ratio vs baseline (seeded runs: machine-independent)")
 	gateMinNs := flag.Float64("gate-min-ns", 50e6, "skip the ns/op gate for benchmarks whose baseline ns/op is below this")
 	gatePar := flag.Float64("gate-parallel", 0, "when > 0, fail if any <X>/shards=cpu bench is slower than this ratio times its <X>/shards=1 sibling (skipped at GOMAXPROCS=1)")
 	flag.Parse()
@@ -113,11 +121,14 @@ func main() {
 		}
 		b := Bench{
 			Name: m[1], Iters: iters, NsPerOp: ns, SecPerOp: ns / 1e9,
-			BytesPerOp: -1, AllocsPerOp: -1,
+			BytesPerOp: -1, AllocsPerOp: -1, WireBPerOp: -1,
 		}
 		if m[5] != "" {
-			b.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-			b.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+			b.WireBPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		if m[6] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+			b.AllocsPerOp, _ = strconv.ParseInt(m[7], 10, 64)
 		}
 		snap.Benchmarks = append(snap.Benchmarks, b)
 	}
@@ -133,7 +144,7 @@ func main() {
 	if *baseline != "" {
 		var err error
 		violations, err = compare(os.Stderr, snap, *baseline, gateThresholds{
-			ns: *gateNs, allocs: *gateAllocs, minNs: *gateMinNs,
+			ns: *gateNs, allocs: *gateAllocs, bytes: *gateBytes, minNs: *gateMinNs,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchsnap:", err)
@@ -193,6 +204,7 @@ func parallelGate(w *os.File, snap Snapshot, maxprocs int, ratio float64) []stri
 type gateThresholds struct {
 	ns     float64 // max ns/op ratio
 	allocs float64 // max allocs/op ratio
+	bytes  float64 // max wire-B/op ratio
 	minNs  float64 // baseline ns/op floor below which the ns gate is skipped
 }
 
@@ -214,13 +226,13 @@ func compare(w *os.File, snap Snapshot, path string, th gateThresholds) ([]strin
 	}
 	var violations []string
 	fmt.Fprintf(w, "--- vs %s (ratio this/baseline; <1 is better; ns ratios move with hardware, allocs do not) ---\n", path)
-	fmt.Fprintf(w, "%-44s %14s %12s %14s %12s\n", "benchmark", "ns/op", "ns ratio", "allocs/op", "alloc ratio")
+	fmt.Fprintf(w, "%-44s %14s %12s %14s %12s %14s %12s\n", "benchmark", "ns/op", "ns ratio", "allocs/op", "alloc ratio", "wire-B/op", "wire ratio")
 	seen := make(map[string]bool, len(snap.Benchmarks))
 	for _, b := range snap.Benchmarks {
 		seen[b.Name] = true
 		old, ok := byName[b.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-44s %14.0f %12s %14s %12s\n", b.Name, b.NsPerOp, "new", allocs(b), "new")
+			fmt.Fprintf(w, "%-44s %14.0f %12s %14s %12s %14s %12s\n", b.Name, b.NsPerOp, "new", allocs(b), "new", wire(b), "new")
 			continue
 		}
 		nsRatio := "n/a"
@@ -256,7 +268,21 @@ func compare(w *os.File, snap Snapshot, path string, th gateThresholds) ([]strin
 			violations = append(violations, fmt.Sprintf(
 				"%s: baseline has allocs/op but this run measured none (missing -benchmem?)", b.Name))
 		}
-		fmt.Fprintf(w, "%-44s %14.0f %12s %14s %12s\n", b.Name, b.NsPerOp, nsRatio, allocs(b), allocRatio)
+		// Wire bytes come from fully seeded runs, so like allocs/op the
+		// ratio is machine-independent; unlike allocs/op a measured value
+		// disappearing (old recorded, new absent) just means the bench run
+		// skipped BenchmarkReportBytes — the missing-benchmark check below
+		// already covers a dropped benchmark, so no extra violation here.
+		wireRatio := "n/a"
+		if old.WireBPerOp > 0 && b.WireBPerOp >= 0 {
+			r := b.WireBPerOp / old.WireBPerOp
+			wireRatio = fmt.Sprintf("%.2f", r)
+			if r > th.bytes {
+				violations = append(violations, fmt.Sprintf(
+					"%s: wire-B/op ratio %.2f exceeds %.2f (%.0f \u2192 %.0f)", b.Name, r, th.bytes, old.WireBPerOp, b.WireBPerOp))
+			}
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %12s %14s %12s %14s %12s\n", b.Name, b.NsPerOp, nsRatio, allocs(b), allocRatio, wire(b), wireRatio)
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
@@ -265,6 +291,13 @@ func compare(w *os.File, snap Snapshot, path string, th gateThresholds) ([]strin
 		}
 	}
 	return violations, nil
+}
+
+func wire(b Bench) string {
+	if b.WireBPerOp < 0 {
+		return "n/a"
+	}
+	return strconv.FormatFloat(b.WireBPerOp, 'f', 0, 64)
 }
 
 func allocs(b Bench) string {

@@ -29,6 +29,7 @@ import (
 	"gossipbnb/internal/btree"
 	"gossipbnb/internal/dbnb"
 	"gossipbnb/internal/metrics"
+	"gossipbnb/internal/protocol"
 	"gossipbnb/internal/trace"
 )
 
@@ -89,6 +90,7 @@ func run() int {
 		dup      = flag.Float64("dup", 0, "message duplication probability")
 		reorder  = flag.Float64("reorder", 0, "message reordering probability (bounded hold-back)")
 		replay   = flag.Float64("replay", 0, "stale-replay probability (~1 s late)")
+		diffG    = flag.Bool("diffgossip", false, "anti-entropy diff gossip: digests + subtree pulls instead of full frontiers")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	)
@@ -165,6 +167,7 @@ func run() int {
 		Duplicate:     *dup,
 		Reorder:       *reorder,
 		Replay:        *replay,
+		DiffGossip:    *diffG,
 		Trace:         lg,
 	}
 
@@ -223,6 +226,19 @@ func run() int {
 	fmt.Println("time split:", strings.Join(parts, ", "))
 	fmt.Printf("network: %d msgs, %.3f MB, %d lost, %d cut, %d to dead\n",
 		res.Net.Sent, metrics.MB(res.Net.Bytes), res.Net.Lost, res.Net.Cut, res.Net.ToDead)
+	fmt.Printf("payload: %d bytes total, %.0f bytes/process\n",
+		res.Net.Bytes, float64(res.Net.Bytes)/float64(*procs))
+	kindParts := make([]string, 0, protocol.KindCount)
+	for k := 1; k < protocol.KindCount; k++ {
+		if res.Net.KindSent[k] == 0 {
+			continue
+		}
+		kindParts = append(kindParts, fmt.Sprintf("%s %d/%.3gMB",
+			protocol.KindName(byte(k)), res.Net.KindSent[k], metrics.MB(res.Net.KindBytes[k])))
+	}
+	if len(kindParts) > 0 {
+		fmt.Println("by kind:", strings.Join(kindParts, ", "))
+	}
 	fmt.Printf("storage: %.3f MB total, %.3f MB redundant\n",
 		metrics.MB(int64(res.Met.TotalStorage())), metrics.MB(int64(res.Met.RedundantStorage())))
 	if *gantt {

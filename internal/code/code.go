@@ -86,6 +86,15 @@ func (c Code) AppendChild(v uint32, b uint8) Code {
 	return append(c, Decision{Var: v, Branch: b & 1})
 }
 
+// Join returns the concatenation prefix·suffix as a fresh code: the node
+// reached by replaying suffix's decisions below the node prefix encodes. It
+// re-anchors subtree-relative codes (ctree.SubtreeCodes output) under their
+// prefix. The result shares no storage with either input.
+func Join(prefix, suffix Code) Code {
+	j := make(Code, 0, len(prefix)+len(suffix))
+	return append(append(j, prefix...), suffix...)
+}
+
 // Clone returns a copy of c that shares no storage with it.
 func (c Code) Clone() Code {
 	d := make(Code, len(c))

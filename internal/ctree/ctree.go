@@ -41,6 +41,12 @@ type node struct {
 	children  [2]*node
 	hasChild  [2]bool
 	complete  bool
+
+	// digest caches the content digest of the subtree rooted here (see
+	// digest.go); digestOK is its validity bit, cleared along the mutation
+	// path exactly like the table-level frontier cache.
+	digest   uint64
+	digestOK bool
 }
 
 // Table is a contracted set of completed-problem codes. The zero value is not
@@ -194,6 +200,14 @@ func (t *Table) insertFrom(c code.Code, from int) (changed bool, valid int, err 
 		t.prune(p)
 		valid = i
 	}
+	// Every vertex on the walked path now roots a changed subtree, so their
+	// cached digests are stale. Vertices recycled by the contraction above
+	// were zeroed by prune; re-clearing them is harmless. Nothing off the
+	// path changed, so nothing else needs touching — this is the same
+	// invalidation discipline as the frontier cache, pushed down to vertices.
+	for _, v := range t.path {
+		v.digestOK = false
+	}
 	t.invalidate()
 	return true, valid, nil
 }
@@ -245,6 +259,28 @@ func (t *Table) Contains(c code.Code) bool {
 	return n.complete
 }
 
+// Covering returns the contraction of c in the table: the code of the
+// shallowest completed node on c's path — the ancestor (or c itself) whose
+// completion subsumes everything under it. ok is false when c is not
+// contained. The result is a prefix of c and aliases its storage; callers
+// must treat it as immutable.
+func (t *Table) Covering(c code.Code) (code.Code, bool) {
+	n := t.root
+	for i, d := range c {
+		if n.complete {
+			return c[:i:i], true
+		}
+		if !n.hasChild[d.Branch&1] || n.branchVar != d.Var {
+			return nil, false
+		}
+		n = n.children[d.Branch&1]
+	}
+	if n.complete {
+		return c, true
+	}
+	return nil, false
+}
+
 // Codes returns the contracted frontier: the minimal set of codes whose
 // completion implies everything the table knows. This is exactly what a
 // process sends when it gossips its whole table. Order is deterministic
@@ -267,11 +303,25 @@ func (t *Table) Codes() []code.Code {
 // returned codes themselves, one per frontier entry, instead of one clone per
 // trie edge as the recursive prefix.Child walk paid.
 func (t *Table) appendFrontier(out []code.Code) []code.Code {
+	out, _ = t.appendFrontierFrom(t.root, out, 0)
+	return out
+}
+
+// appendFrontierFrom is appendFrontier generalized to the subtree rooted at
+// start: codes are emitted relative to start's position. If max > 0 the walk
+// aborts once more than max codes would be emitted and reports ok = false —
+// the anti-entropy responder uses this to decide between inlining a small
+// subtree's codes and descending another level of the digest walk.
+func (t *Table) appendFrontierFrom(start *node, out []code.Code, max int) (_ []code.Code, ok bool) {
 	t.scratch = t.scratch[:0]
-	t.frames = append(t.frames[:0], walkFrame{n: t.root})
+	t.frames = append(t.frames[:0], walkFrame{n: start})
+	emitted := 0
 	for len(t.frames) > 0 {
 		f := &t.frames[len(t.frames)-1]
 		if f.b == 0 && f.n.complete {
+			if emitted++; max > 0 && emitted > max {
+				return out, false
+			}
 			out = append(out, t.scratch.Clone())
 			f.b = 2
 		}
@@ -293,7 +343,7 @@ func (t *Table) appendFrontier(out []code.Code) []code.Code {
 			}
 		}
 	}
-	return out
+	return out, true
 }
 
 // Complement returns a minimal set of codes covering every tree node not

@@ -76,6 +76,21 @@ type Config struct {
 	Latency sim.LatencyModel
 	Loss    float64
 
+	// LinkLatency, if non-nil, refines the latency model per (from, to) pair
+	// — non-uniform topologies like two clusters joined by a slow WAN link.
+	// It must never return less than Latency(0). Scenarios with a link model
+	// run on the legacy serial kernel (the sharded mesh's lookahead is
+	// derived from the uniform model's floor).
+	LinkLatency func(from, to int, bytes int) float64
+
+	// DiffGossip switches the report path to anti-entropy diff gossip:
+	// reports carry the completion table's content digest plus the recent
+	// delta; a receiver whose digest differs walks the sender's per-subtree
+	// digests and pulls only the missing regions, instead of everyone
+	// periodically pushing full-table frontiers. Default off — the legacy
+	// full-frontier path, pinned bit-identical by the golden tests.
+	DiffGossip bool
+
 	// Adversarial delivery — the full asynchronous model of §4, beyond the
 	// loss-only network of the paper's own experiments. Duplicate is the
 	// independent probability a message is delivered twice (the copy draws

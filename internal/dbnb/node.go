@@ -118,7 +118,8 @@ func (s nodeSender) Send(to protocol.NodeID, m protocol.Msg) {
 	n.sh.nw.Send(n.id, sim.NodeID(to), m)
 	over := n.h.cfg.CommOverhead
 	switch m.(type) {
-	case protocol.Report, protocol.TableMsg:
+	case protocol.Report, protocol.TableMsg,
+		protocol.DigestReport, protocol.SubtreeRequest, protocol.SubtreeReply:
 		n.met.Add(metrics.Comm, over)
 	case protocol.WorkRequest, protocol.WorkGrant, protocol.WorkDeny:
 		n.met.Add(metrics.LB, over)
@@ -190,6 +191,7 @@ func (n *node) initCore() {
 		RecoveryPatience: cfg.RecoveryPatience,
 		RecoveryQuiet:    cfg.RecoveryQuiet,
 		DisableRecovery:  cfg.DisableRecovery,
+		DiffGossip:       cfg.DiffGossip,
 	}, protocol.Deps{
 		Clock:         n.k,
 		Sender:        nodeSender{n},
@@ -498,6 +500,16 @@ func (n *node) drainInbox() {
 			contractCost += cfg.ContractPerCode * float64(len(t.Codes))
 		case protocol.TableMsg:
 			contractCost += cfg.ContractPerCode * float64(len(t.Codes))
+		case protocol.DigestReport:
+			// Merging the delta plus one digest comparison.
+			contractCost += cfg.ContractPerCode * float64(len(t.Codes)+1)
+		case protocol.SubtreeRequest:
+			// One trie descent to the requested prefix.
+			contractCost += cfg.ContractPerCode
+		case protocol.SubtreeReply:
+			// Merging the pulled subtree frontier (branch replies have no
+			// codes and cost the single digest comparison).
+			contractCost += cfg.ContractPerCode * float64(len(t.Rel)+1)
 		case protocol.WorkGrant:
 			lbCost += cfg.CommOverhead * float64(1+len(t.Codes)/8)
 		}

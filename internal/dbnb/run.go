@@ -280,7 +280,8 @@ func shardCount(cfg Config) int {
 	if s > cfg.Procs {
 		s = cfg.Procs
 	}
-	if s >= 1 && (cfg.UseMembership || cfg.Trace != nil || cfg.fireHook != nil || shardLookahead(cfg) <= 0) {
+	if s >= 1 && (cfg.UseMembership || cfg.Trace != nil || cfg.fireHook != nil ||
+		cfg.LinkLatency != nil || shardLookahead(cfg) <= 0) {
 		s = 0
 	}
 	return s
@@ -320,6 +321,13 @@ func run(cfg Config, w workload) Result {
 	}
 
 	for _, sh := range h.shards {
+		if cfg.LinkLatency != nil {
+			// Legacy serial kernel only (shardCount forces it), so no
+			// lookahead bound constrains the per-link delays.
+			sh.nw.SetLinkLatency(func(from, to sim.NodeID, bytes int) float64 {
+				return cfg.LinkLatency(int(from), int(to), bytes)
+			})
+		}
 		sh.nw.SetLoss(cfg.Loss)
 		// Unconditional, like SetLoss: a malformed probability (a sign typo
 		// for a knob the user believes is on) must panic, not silently run a

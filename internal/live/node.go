@@ -40,6 +40,9 @@ type Config struct {
 	RecoveryPatience int
 	RetryDelay       time.Duration
 	RecoveryQuiet    time.Duration
+	// DiffGossip switches the report path to anti-entropy diff gossip, as in
+	// the simulator's knob: digests plus deltas instead of full frontiers.
+	DiffGossip bool
 	// Timeout bounds Run's wall-clock time.
 	Timeout time.Duration
 }
@@ -75,6 +78,8 @@ type Result struct {
 	Elapsed    time.Duration
 	MsgsSent   int64
 	BytesSent  int64
+	// Kinds breaks the sent traffic down by message kind.
+	Kinds KindStats
 }
 
 // liveNode is one goroutine-backed process identity: it survives
@@ -252,6 +257,7 @@ func (cl *Cluster) newIncarnation(n *liveNode, gen int64, inbox <-chan Envelope)
 		MaxShare:         cfg.MaxShare,
 		RecoveryPatience: cfg.RecoveryPatience,
 		RecoveryQuiet:    cfg.RecoveryQuiet.Seconds(),
+		DiffGossip:       cfg.DiffGossip,
 	}, protocol.Deps{
 		Clock:     cl.clock,
 		Sender:    liveSender{n},
@@ -430,6 +436,7 @@ loop:
 	res.OptimumOK = res.Terminated && res.Optimum == cl.trueOpt
 	sent, _, bytes := cl.tr.Stats()
 	res.MsgsSent, res.BytesSent = sent, bytes
+	res.Kinds = cl.tr.ByKind()
 	return res
 }
 

@@ -25,6 +25,7 @@ type TCPNetwork struct {
 	sent    int64
 	dropped int64
 	bytes   int64
+	kinds   KindStats
 	wg      sync.WaitGroup
 }
 
@@ -150,6 +151,13 @@ func (t *TCPNetwork) Stats() (sent, dropped, bytes int64) {
 	return t.sent, t.dropped, t.bytes
 }
 
+// ByKind implements Net.
+func (t *TCPNetwork) ByKind() KindStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kinds
+}
+
 // Close implements Net: shuts every listener and connection down and waits
 // for reader goroutines to drain.
 func (t *TCPNetwork) Close() {
@@ -230,6 +238,7 @@ func (t *TCPNetwork) Send(from, to NodeID, msg Message) {
 	}
 	t.sent++
 	t.bytes += int64(msg.Size())
+	t.kinds.note(msgKind(msg), msg.Size())
 	key := [2]NodeID{from, to}
 	c := t.conns[key]
 	addr := t.addrs[to]

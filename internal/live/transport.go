@@ -43,8 +43,37 @@ type Net interface {
 	Crashed(id NodeID) bool
 	// Stats returns (messages sent, messages dropped, payload bytes).
 	Stats() (sent, dropped, bytes int64)
+	// ByKind returns the per-message-kind traffic breakdown.
+	ByKind() KindStats
 	// Close releases transport resources after the run.
 	Close()
+}
+
+// MsgKinds bounds the dense per-kind accounting arrays — the protocol
+// codec's kind space; bucket 0 collects messages that expose no kind.
+const MsgKinds = 16
+
+// KindStats breaks sent traffic down by message kind, indexed by the codec
+// kind byte (protocol.KindName labels them).
+type KindStats struct {
+	Sent  [MsgKinds]int64
+	Bytes [MsgKinds]int64
+}
+
+// note tallies one sent message of size sz under kind k.
+func (s *KindStats) note(k byte, sz int) {
+	s.Sent[k]++
+	s.Bytes[k] += int64(sz)
+}
+
+// msgKind resolves a message's accounting bucket.
+func msgKind(msg Message) byte {
+	if km, ok := msg.(interface{ Kind() byte }); ok {
+		if k := km.Kind(); int(k) < MsgKinds {
+			return k
+		}
+	}
+	return 0
 }
 
 // Chaos parameterizes adversarial delivery: the duplicated, reordered, and
@@ -102,6 +131,7 @@ type Transport struct {
 	sent    int64
 	dropped int64
 	bytes   int64
+	kinds   KindStats
 	// Chaos tallies, for tests and diagnostics.
 	duplicated int64
 	reordered  int64
@@ -194,6 +224,7 @@ func (t *Transport) Send(from, to NodeID, msg Message) {
 	}
 	t.sent++
 	t.bytes += int64(msg.Size())
+	t.kinds.note(msgKind(msg), msg.Size())
 	if t.loss > 0 && t.rng.Float64() < t.loss {
 		t.dropped++
 		t.mu.Unlock()
@@ -290,6 +321,13 @@ func (t *Transport) Stats() (sent, dropped, bytes int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.sent, t.dropped, t.bytes
+}
+
+// ByKind implements Net.
+func (t *Transport) ByKind() KindStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kinds
 }
 
 // Close implements Net: stop every pending delayed delivery so no timer

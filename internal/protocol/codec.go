@@ -7,49 +7,83 @@ import (
 	"math"
 
 	"gossipbnb/internal/code"
+	"gossipbnb/internal/ctree"
 )
 
 // The canonical binary encoding, shared by every transport that needs bytes
 // (the TCP runtime today; any future wire goes through the same codec):
 //
-//	msg    := u8(kind) f64le(incumbent) f64le(actAge) [codes]
-//	codes  := code.AppendAll encoding (report, table, and grant only)
+//	msg     := u8(kind) f64le(incumbent) f64le(actAge) [payload]
+//	payload := codes                                  (report, table, grant)
+//	         | u64le(digest) codes                    (digest report)
+//	         | u8(full) prefix                        (subtree request)
+//	         | u8(1) uvarint(len) subtree             (subtree reply, leaf)
+//	         | u8(0) prefix uvarint(var) u8(mask) digests   (…, branch)
+//	codes   := code.AppendAll encoding
+//	prefix  := code.Code.Append encoding
+//	subtree := ctree.EncodeSubtree encoding (length-prefixed so the hardened
+//	           whole-buffer ctree.DecodeSubtree validates it in place)
 //
 // The encoding is self-delimiting, so messages can be concatenated; Decode
 // returns the number of bytes consumed. Encode produces exactly Size() bytes.
 
-// Message kind bytes. Zero is deliberately invalid so an all-zero buffer
-// never decodes.
-const (
-	kindReport byte = iota + 1
-	kindTable
-	kindRequest
-	kindGrant
-	kindDeny
-)
-
 // Encode appends the wire encoding of m to dst and returns the extended
 // slice. It fails only on a message type outside the canonical set.
 func Encode(dst []byte, m Msg) ([]byte, error) {
-	put := func(kind byte, incumbent, actAge float64, codes []code.Code, withCodes bool) {
+	put := func(kind byte, incumbent, actAge float64) {
 		dst = append(dst, kind)
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(incumbent))
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(actAge))
-		if withCodes {
-			dst = code.AppendAll(dst, codes)
-		}
 	}
 	switch t := m.(type) {
 	case Report:
-		put(kindReport, t.Incumbent, t.ActAge, t.Codes, true)
+		put(KindReport, t.Incumbent, t.ActAge)
+		dst = code.AppendAll(dst, t.Codes)
 	case TableMsg:
-		put(kindTable, t.Incumbent, t.ActAge, t.Codes, true)
+		put(KindTable, t.Incumbent, t.ActAge)
+		dst = code.AppendAll(dst, t.Codes)
 	case WorkRequest:
-		put(kindRequest, t.Incumbent, t.ActAge, nil, false)
+		put(KindRequest, t.Incumbent, t.ActAge)
 	case WorkGrant:
-		put(kindGrant, t.Incumbent, t.ActAge, t.Codes, true)
+		put(KindGrant, t.Incumbent, t.ActAge)
+		dst = code.AppendAll(dst, t.Codes)
 	case WorkDeny:
-		put(kindDeny, t.Incumbent, t.ActAge, nil, false)
+		put(KindDeny, t.Incumbent, t.ActAge)
+	case DigestReport:
+		put(KindDigestReport, t.Incumbent, t.ActAge)
+		dst = binary.LittleEndian.AppendUint64(dst, t.Digest)
+		dst = code.AppendAll(dst, t.Codes)
+	case SubtreeRequest:
+		put(KindSubtreeRequest, t.Incumbent, t.ActAge)
+		var full byte
+		if t.Full {
+			full = 1
+		}
+		dst = append(dst, full)
+		dst = t.Prefix.Append(dst)
+	case SubtreeReply:
+		put(KindSubtreeReply, t.Incumbent, t.ActAge)
+		if t.Leaf {
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(ctree.SubtreeWireSize(t.Prefix, t.Rel)))
+			dst = ctree.EncodeSubtree(dst, t.Prefix, t.Rel)
+		} else {
+			dst = append(dst, 0)
+			dst = t.Prefix.Append(dst)
+			dst = binary.AppendUvarint(dst, uint64(t.BranchVar))
+			var mask byte
+			for b, k := range t.Kids {
+				if k.Present {
+					mask |= 1 << b
+				}
+			}
+			dst = append(dst, mask)
+			for _, k := range t.Kids {
+				if k.Present {
+					dst = binary.LittleEndian.AppendUint64(dst, k.Digest)
+				}
+			}
+		}
 	default:
 		return nil, fmt.Errorf("protocol: cannot encode %T", m)
 	}
@@ -75,28 +109,102 @@ func Decode(buf []byte) (Msg, int, error) {
 		return cs, nil
 	}
 	switch kind {
-	case kindReport:
+	case KindReport:
 		cs, err := readCodes()
 		if err != nil {
 			return nil, 0, fmt.Errorf("protocol: report codes: %w", err)
 		}
 		return Report{Codes: cs, Incumbent: incumbent, ActAge: actAge}, off, nil
-	case kindTable:
+	case KindTable:
 		cs, err := readCodes()
 		if err != nil {
 			return nil, 0, fmt.Errorf("protocol: table codes: %w", err)
 		}
 		return TableMsg{Codes: cs, Incumbent: incumbent, ActAge: actAge}, off, nil
-	case kindRequest:
+	case KindRequest:
 		return WorkRequest{Incumbent: incumbent, ActAge: actAge}, off, nil
-	case kindGrant:
+	case KindGrant:
 		cs, err := readCodes()
 		if err != nil {
 			return nil, 0, fmt.Errorf("protocol: grant codes: %w", err)
 		}
 		return WorkGrant{Codes: cs, Incumbent: incumbent, ActAge: actAge}, off, nil
-	case kindDeny:
+	case KindDeny:
 		return WorkDeny{Incumbent: incumbent, ActAge: actAge}, off, nil
+	case KindDigestReport:
+		if len(buf) < off+8 {
+			return nil, 0, errors.New("protocol: truncated digest")
+		}
+		digest := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		cs, err := readCodes()
+		if err != nil {
+			return nil, 0, fmt.Errorf("protocol: digest report codes: %w", err)
+		}
+		return DigestReport{Digest: digest, Codes: cs, Incumbent: incumbent, ActAge: actAge}, off, nil
+	case KindSubtreeRequest:
+		if len(buf) < off+1 {
+			return nil, 0, errors.New("protocol: truncated subtree request")
+		}
+		full := buf[off] == 1
+		off++
+		prefix, n, err := code.Decode(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("protocol: subtree request prefix: %w", err)
+		}
+		off += n
+		return SubtreeRequest{Prefix: prefix, Full: full, Incumbent: incumbent, ActAge: actAge}, off, nil
+	case KindSubtreeReply:
+		if len(buf) < off+1 {
+			return nil, 0, errors.New("protocol: truncated subtree reply")
+		}
+		leaf := buf[off] == 1
+		off++
+		m := SubtreeReply{Leaf: leaf, Incumbent: incumbent, ActAge: actAge}
+		if leaf {
+			sec, n := binary.Uvarint(buf[off:])
+			if n <= 0 || sec > uint64(len(buf)-off-n) {
+				return nil, 0, errors.New("protocol: bad subtree section length")
+			}
+			off += n
+			prefix, rel, err := ctree.DecodeSubtree(buf[off : off+int(sec)])
+			if err != nil {
+				return nil, 0, fmt.Errorf("protocol: subtree reply: %w", err)
+			}
+			off += int(sec)
+			m.Prefix, m.Rel = prefix, rel
+			return m, off, nil
+		}
+		prefix, n, err := code.Decode(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("protocol: subtree reply prefix: %w", err)
+		}
+		off += n
+		bv, n := binary.Uvarint(buf[off:])
+		if n <= 0 || bv > math.MaxUint32 {
+			return nil, 0, errors.New("protocol: bad subtree branch var")
+		}
+		off += n
+		if len(buf) < off+1 {
+			return nil, 0, errors.New("protocol: truncated subtree child mask")
+		}
+		mask := buf[off]
+		off++
+		if mask > 3 {
+			return nil, 0, fmt.Errorf("protocol: bad subtree child mask %#x", mask)
+		}
+		m.Prefix, m.BranchVar = prefix, uint32(bv)
+		for b := 0; b < 2; b++ {
+			if mask&(1<<b) == 0 {
+				continue
+			}
+			if len(buf) < off+8 {
+				return nil, 0, errors.New("protocol: truncated child digest")
+			}
+			m.Kids[b] = ctree.ChildDigest{Present: true, Digest: binary.LittleEndian.Uint64(buf[off:])}
+			off += 8
+		}
+		return m, off, nil
 	default:
 		return nil, 0, fmt.Errorf("protocol: unknown message kind %d", kind)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gossipbnb/internal/code"
+	"gossipbnb/internal/ctree"
 )
 
 func sampleCodes() []code.Code {
@@ -24,6 +25,14 @@ func TestCodecRoundTrip(t *testing.T) {
 		WorkRequest{Incumbent: math.Inf(1), ActAge: 0},
 		WorkGrant{Codes: codes[1:], Incumbent: -2, ActAge: 7},
 		WorkDeny{Incumbent: 0, ActAge: 3},
+		DigestReport{Digest: 0xdeadbeefcafef00d, Codes: codes, Incumbent: 2, ActAge: 1},
+		SubtreeRequest{Prefix: codes[1], Full: true, Incumbent: 9, ActAge: 4},
+		SubtreeRequest{Prefix: code.Root(), Incumbent: -3},
+		SubtreeReply{Prefix: codes[1], Leaf: true, Rel: codes[2:], Incumbent: 5, ActAge: 2},
+		SubtreeReply{Prefix: codes[2], BranchVar: 301,
+			Kids: [2]ctree.ChildDigest{{Present: true, Digest: 7}, {Present: true, Digest: 0xffffffffffffffff}}},
+		SubtreeReply{Prefix: code.Root(), BranchVar: 1,
+			Kids: [2]ctree.ChildDigest{1: {Present: true, Digest: 42}}},
 	}
 	for _, m := range cases {
 		buf, err := Encode(nil, m)
@@ -47,7 +56,7 @@ func TestCodecRoundTrip(t *testing.T) {
 }
 
 func TestCodecEmptyCodeBatches(t *testing.T) {
-	for _, m := range []Msg{Report{}, TableMsg{}, WorkGrant{}} {
+	for _, m := range []Msg{Report{}, TableMsg{}, WorkGrant{}, DigestReport{}, SubtreeRequest{}, SubtreeReply{Leaf: true}} {
 		buf, err := Encode(nil, m)
 		if err != nil {
 			t.Fatalf("%T: %v", m, err)
@@ -105,6 +114,34 @@ func TestCodecRejectsGarbage(t *testing.T) {
 	if _, err := Encode(nil, nil); err == nil {
 		t.Error("nil message encoded")
 	}
+	// Digest report whose 8-byte digest is cut off.
+	buf, _ = Encode(nil, DigestReport{Digest: 1, Codes: sampleCodes()})
+	if _, _, err := Decode(buf[:scalarSize+4]); err == nil {
+		t.Error("truncated digest accepted")
+	}
+	// Subtree request whose prefix is cut off.
+	buf, _ = Encode(nil, SubtreeRequest{Prefix: sampleCodes()[2]})
+	if _, _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated subtree request prefix accepted")
+	}
+	// Leaf reply whose declared subtree section overruns the buffer.
+	buf, _ = Encode(nil, SubtreeReply{Leaf: true, Prefix: sampleCodes()[1], Rel: sampleCodes()})
+	if _, _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated subtree section accepted")
+	}
+	// Branch reply with an invalid child mask.
+	branch := SubtreeReply{Prefix: sampleCodes()[1], BranchVar: 9,
+		Kids: [2]ctree.ChildDigest{{Present: true, Digest: 1}, {Present: true, Digest: 2}}}
+	buf, _ = Encode(nil, branch)
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-17] = 7 // the mask byte precedes the two 8-byte digests
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("invalid child mask accepted")
+	}
+	// Branch reply whose child digests are cut off.
+	if _, _, err := Decode(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated child digests accepted")
+	}
 }
 
 // FuzzDecode throws arbitrary bytes at the codec: it must never panic, and
@@ -118,6 +155,11 @@ func FuzzDecode(f *testing.F) {
 		WorkRequest{Incumbent: 4},
 		WorkGrant{Codes: sampleCodes()[1:2], ActAge: 5},
 		WorkDeny{},
+		DigestReport{Digest: 0x1234, Codes: sampleCodes(), Incumbent: 6},
+		SubtreeRequest{Prefix: sampleCodes()[1], Full: true},
+		SubtreeReply{Leaf: true, Prefix: sampleCodes()[1], Rel: sampleCodes()[2:]},
+		SubtreeReply{Prefix: sampleCodes()[2], BranchVar: 3,
+			Kids: [2]ctree.ChildDigest{{Present: true, Digest: 11}}},
 	} {
 		buf, err := Encode(nil, m)
 		if err != nil {

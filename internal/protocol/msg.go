@@ -1,12 +1,61 @@
 package protocol
 
-import "gossipbnb/internal/code"
+import (
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/ctree"
+)
 
 // Msg is a canonical wire message of the protocol. Size reports the wire
 // encoding's length in bytes — it is exact: Encode produces Size() bytes.
-// The interface is structurally identical to sim.Message and live.Message,
-// so canonical messages flow through either transport unchanged.
-type Msg interface{ Size() int }
+// Kind reports the codec kind byte, which doubles as the dense index of the
+// transports' per-kind byte accounting. The interface is structurally
+// identical to sim.Message and live.Message, so canonical messages flow
+// through either transport unchanged.
+type Msg interface {
+	Size() int
+	Kind() byte
+}
+
+// Message kind bytes, shared between the codec and the per-kind network
+// accounting. Zero is deliberately invalid so an all-zero buffer never
+// decodes (transports use it as the "unknown kind" accounting bucket).
+const (
+	KindReport byte = iota + 1
+	KindTable
+	KindRequest
+	KindGrant
+	KindDeny
+	KindDigestReport
+	KindSubtreeRequest
+	KindSubtreeReply
+
+	// KindCount bounds the dense kind space for accounting arrays.
+	KindCount = int(KindSubtreeReply) + 1
+)
+
+// KindName returns a short stable label for a kind byte, for CLI summaries
+// and figure tables.
+func KindName(k byte) string {
+	switch k {
+	case KindReport:
+		return "report"
+	case KindTable:
+		return "table"
+	case KindRequest:
+		return "request"
+	case KindGrant:
+		return "grant"
+	case KindDeny:
+		return "deny"
+	case KindDigestReport:
+		return "digest"
+	case KindSubtreeRequest:
+		return "subreq"
+	case KindSubtreeReply:
+		return "subreply"
+	}
+	return "other"
+}
 
 // Every message carries two piggybacked scalars:
 //
@@ -36,6 +85,9 @@ type Report struct {
 // Size implements Msg.
 func (m Report) Size() int { return scalarSize + codesWireSize(m.Codes) }
 
+// Kind implements Msg.
+func (m Report) Kind() byte { return KindReport }
+
 // TableMsg is the occasional full-table push "to inform new members of the
 // current state of the execution and to increase the degree of consistency".
 // Its payload is the sender's contracted table frontier.
@@ -48,6 +100,9 @@ type TableMsg struct {
 // Size implements Msg.
 func (m TableMsg) Size() int { return scalarSize + codesWireSize(m.Codes) }
 
+// Kind implements Msg.
+func (m TableMsg) Kind() byte { return KindTable }
+
 // WorkRequest asks a randomly chosen member for problems.
 type WorkRequest struct {
 	Incumbent float64
@@ -56,6 +111,9 @@ type WorkRequest struct {
 
 // Size implements Msg.
 func (m WorkRequest) Size() int { return scalarSize }
+
+// Kind implements Msg.
+func (m WorkRequest) Kind() byte { return KindRequest }
 
 // WorkGrant transfers problems: codes suffice, because codes are
 // self-contained (§5.3.1) — the receiver rebuilds bound and decomposition
@@ -69,6 +127,9 @@ type WorkGrant struct {
 // Size implements Msg.
 func (m WorkGrant) Size() int { return scalarSize + codesWireSize(m.Codes) }
 
+// Kind implements Msg.
+func (m WorkGrant) Kind() byte { return KindGrant }
+
 // WorkDeny tells a requester its target has no work to spare, so the
 // requester need not wait out the timeout.
 type WorkDeny struct {
@@ -78,6 +139,81 @@ type WorkDeny struct {
 
 // Size implements Msg.
 func (m WorkDeny) Size() int { return scalarSize }
+
+// Kind implements Msg.
+func (m WorkDeny) Kind() byte { return KindDeny }
+
+// DigestReport is the diff-gossip work report: the same recent-delta codes a
+// Report carries, plus the content digest of the sender's whole completion
+// table (ctree.Table.Digest). The delta keeps steady-state convergence as
+// cheap as legacy reports; the digest lets a receiver detect divergence
+// beyond the delta — lost reports, a restart, a partition heal — and pull
+// exactly the missing subtrees instead of waiting for a full-table push. A
+// DigestReport with no codes is the diff-mode table push.
+type DigestReport struct {
+	Digest    uint64
+	Codes     []code.Code
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m DigestReport) Size() int { return scalarSize + 8 + codesWireSize(m.Codes) }
+
+// Kind implements Msg.
+func (m DigestReport) Kind() byte { return KindDigestReport }
+
+// SubtreeRequest asks a peer for the completion content under Prefix during
+// an anti-entropy walk. Full set means the requester knows nothing under
+// Prefix (the restart-rejoin and bootstrap case) and the responder should
+// ship the whole subtree frontier instead of another level of digests.
+type SubtreeRequest struct {
+	Prefix    code.Code
+	Full      bool
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m SubtreeRequest) Size() int { return scalarSize + 1 + m.Prefix.WireSize() }
+
+// Kind implements Msg.
+func (m SubtreeRequest) Kind() byte { return KindSubtreeRequest }
+
+// SubtreeReply answers a SubtreeRequest. A leaf reply inlines the subtree's
+// frontier codes relative to Prefix (nil = the responder knows nothing
+// there; a single empty code = the whole subtree is complete). A branch
+// reply describes the vertex at Prefix — its branching variable and
+// per-child digests — so the requester can descend only into the children
+// that differ.
+type SubtreeReply struct {
+	Prefix    code.Code
+	Leaf      bool
+	Rel       []code.Code // leaf replies: frontier relative to Prefix
+	BranchVar uint32      // branch replies
+	Kids      [2]ctree.ChildDigest
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m SubtreeReply) Size() int {
+	sz := scalarSize + 1
+	if m.Leaf {
+		sec := ctree.SubtreeWireSize(m.Prefix, m.Rel)
+		return sz + uvarintLen(uint64(sec)) + sec
+	}
+	sz += m.Prefix.WireSize() + uvarintLen(uint64(m.BranchVar)) + 1
+	for _, k := range m.Kids {
+		if k.Present {
+			sz += 8
+		}
+	}
+	return sz
+}
+
+// Kind implements Msg.
+func (m SubtreeReply) Kind() byte { return KindSubtreeReply }
 
 // scalarSize is the fixed part of every message: one kind byte plus the two
 // 8-byte piggybacked scalars.

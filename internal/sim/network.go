@@ -38,6 +38,26 @@ type partition struct {
 	group      map[NodeID]bool
 }
 
+// MsgKinds bounds the dense per-kind accounting arrays. Message kinds are
+// small dense bytes (the protocol codec's kind space); index 0 collects
+// messages that expose no kind or one outside the dense range.
+const MsgKinds = 16
+
+// Kinded is an optional Message capability: a small dense kind byte that
+// buckets the per-kind traffic accounting. Canonical protocol messages
+// implement it; membership and test messages need not.
+type Kinded interface{ Kind() byte }
+
+// msgKind resolves a message's accounting bucket.
+func msgKind(msg Message) byte {
+	if km, ok := msg.(Kinded); ok {
+		if k := km.Kind(); int(k) < MsgKinds {
+			return k
+		}
+	}
+	return 0
+}
+
 // NetStats aggregates network activity.
 type NetStats struct {
 	Sent       int64 // messages handed to the network
@@ -49,6 +69,12 @@ type NetStats struct {
 	Duplicated int64 // extra copies injected by the duplication model
 	Reordered  int64 // messages held back by the reordering model
 	Replayed   int64 // stale copies injected by the replay model
+	// KindSent and KindBytes break Sent/Bytes down by message kind (the
+	// protocol codec's kind byte; bucket 0 is everything unkinded). Like
+	// every other counter they are per-shard in a Mesh and merged read-only
+	// at Stats time.
+	KindSent  [MsgKinds]int64
+	KindBytes [MsgKinds]int64
 }
 
 // add folds o into s — the mesh merges per-shard counter sets with it.
@@ -62,6 +88,10 @@ func (s *NetStats) add(o NetStats) {
 	s.Duplicated += o.Duplicated
 	s.Reordered += o.Reordered
 	s.Replayed += o.Replayed
+	for k := 0; k < MsgKinds; k++ {
+		s.KindSent[k] += o.KindSent[k]
+		s.KindBytes[k] += o.KindBytes[k]
+	}
 }
 
 // Network delivers messages between registered nodes under a latency model,
@@ -78,7 +108,10 @@ func (s *NetStats) add(o NetStats) {
 type Network struct {
 	k        *Kernel
 	latency  LatencyModel
-	lossProb float64
+	// linkLatency optionally refines latency per (from, to) pair — see
+	// SetLinkLatency. nil means the size-only model applies everywhere.
+	linkLatency func(from, to NodeID, bytes int) float64
+	lossProb    float64
 	// dupProb injects an independent extra copy of a message, delivered
 	// after its own fresh latency draw. reorderProb holds a message back by
 	// up to reorderWindow extra seconds, letting later sends overtake it
@@ -117,6 +150,26 @@ func NewNetwork(k *Kernel, latency LatencyModel) *Network {
 		latency = func(int) float64 { return 0 }
 	}
 	return &Network{k: k, latency: latency}
+}
+
+// SetLinkLatency installs a per-link latency model: f(from, to, bytes)
+// replaces the size-only model for unicast delays, enabling non-uniform
+// topologies (e.g. two clusters separated by a high-latency WAN link). f must
+// never return less than the base model's latency(0) — the sharded mesh's
+// lookahead is derived from it — so keep per-link delays additive on top of
+// the base. Broadcast fast paths keep the base model; scenarios with a link
+// model should run on the serial kernel (a single-shard mesh or a standalone
+// Network), where no lookahead bound applies.
+func (n *Network) SetLinkLatency(f func(from, to NodeID, bytes int) float64) {
+	n.linkLatency = f
+}
+
+// delayFor resolves the one-way delay for a unicast message.
+func (n *Network) delayFor(from, to NodeID, sz int) float64 {
+	if n.linkLatency != nil {
+		return n.linkLatency(from, to, sz)
+	}
+	return n.latency(sz)
 }
 
 // SetLoss sets the independent per-message loss probability.
@@ -251,6 +304,9 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 	n.stats.Sent++
 	sz := msg.Size()
 	n.stats.Bytes += int64(sz)
+	k := msgKind(msg)
+	n.stats.KindSent[k]++
+	n.stats.KindBytes[k] += int64(sz)
 	n.sentBytes[from] += int64(sz)
 	n.sentMsgs[from]++
 	if n.Crashed(to) {
@@ -261,7 +317,7 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 		n.stats.Lost++
 		return
 	}
-	delay := n.latency(sz)
+	delay := n.delayFor(from, to, sz)
 	if n.reorderProb > 0 && n.k.Rand().Float64() < n.reorderProb {
 		// Held back: messages sent after this one can overtake it.
 		delay += n.k.Rand().Float64() * n.reorderWindow
@@ -271,7 +327,7 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 	if n.dupProb > 0 && n.k.Rand().Float64() < n.dupProb {
 		// The duplicate draws its own latency, so the copies race.
 		n.stats.Duplicated++
-		n.route(from, to, msg, n.latency(sz))
+		n.route(from, to, msg, n.delayFor(from, to, sz))
 	}
 	if n.replayProb > 0 && n.k.Rand().Float64() < n.replayProb {
 		// A stale copy surfaces much later — a retransmit buffer flushing, a
@@ -368,6 +424,9 @@ func (n *Network) BroadcastRange(from NodeID, lo, cnt int, msg Message) {
 	sz := msg.Size()
 	n.stats.Sent += int64(cnt)
 	n.stats.Bytes += int64(sz) * int64(cnt)
+	k := msgKind(msg)
+	n.stats.KindSent[k] += int64(cnt)
+	n.stats.KindBytes[k] += int64(sz) * int64(cnt)
 	n.sentBytes[from] += int64(sz) * int64(cnt)
 	n.sentMsgs[from] += int64(cnt)
 	m.broadcast(n.self, n.k.now+n.latency(sz), from, lo, cnt, msg)
