@@ -9,6 +9,7 @@
 //	dbbsim -procs 8 -problem qap:6:1 -prune                 #  no tree on disk
 //	dbbsim -procs 8 -crash 30:3 -crash 40:5 -loss 0.05      # fault injection
 //	dbbsim -procs 8 -crash 30:3:60 -dup 0.2 -reorder 0.3    # restart + chaos
+//	dbbsim -procs 4 -join 25:4                              # double mid-solve
 //	dbbsim -procs 3 -gantt                                  # ASCII Gantt
 //	dbbsim -procs 16 -membership                            # §5.2 protocol on
 package main
@@ -64,6 +65,32 @@ func (c *crashList) Set(s string) error {
 	return nil
 }
 
+// joinList collects repeated -join TIME:COUNT flags — elastic membership,
+// the converse of -crash.
+type joinList []dbnb.Join
+
+func (j *joinList) String() string { return fmt.Sprint(*j) }
+
+func (j *joinList) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return fmt.Errorf("want TIME:COUNT, got %q", s)
+	}
+	t, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return fmt.Errorf("bad join time in %q: %v", s, err)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad join count in %q: %v", s, err)
+	}
+	if n <= 0 {
+		return fmt.Errorf("join count must be positive in %q", s)
+	}
+	*j = append(*j, dbnb.Join{Time: t, Count: n})
+	return nil
+}
+
 func main() { os.Exit(run()) }
 
 // run is main's body behind an exit code, so the profile-finalizing defers
@@ -72,6 +99,7 @@ func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("dbbsim: ")
 	var crashes crashList
+	var joins joinList
 	var (
 		procs    = flag.Int("procs", 8, "number of processes")
 		shards   = flag.Int("shards", -1, "parallel event shards: N >= 1 exact, 0 = one per CPU, -1 = legacy serial kernel")
@@ -95,6 +123,7 @@ func run() int {
 		memprof  = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	)
 	flag.Var(&crashes, "crash", "crash a process: TIME:NODE, or TIME:NODE:RESTART to reboot it (repeatable)")
+	flag.Var(&joins, "join", "add COUNT brand-new processes at TIME: TIME:COUNT (repeatable)")
 	flag.Parse()
 
 	// Profiling hooks, so hot-path work on the simulator starts from a
@@ -164,6 +193,7 @@ func run() int {
 		RecoveryQuiet: *quiet,
 		UseMembership: *member,
 		Crashes:       crashes,
+		Joins:         joins,
 		Duplicate:     *dup,
 		Reorder:       *reorder,
 		Replay:        *replay,
@@ -218,6 +248,16 @@ func run() int {
 	fmt.Printf("engine: %s, %d events in %.2fs wall (%.3g events/sec)\n",
 		kernel, res.Events, elapsed.Seconds(), float64(res.Events)/elapsed.Seconds())
 	fmt.Printf("expanded=%d  unique=%d  redundant=%d\n", res.Expanded, res.Unique, res.Redundant)
+	if len(joins) > 0 || len(crashes) > 0 {
+		restarts := 0
+		for _, c := range crashes {
+			if c.Restart > c.Time {
+				restarts++
+			}
+		}
+		fmt.Printf("churn: %d joined, %d crashed (%d restarted), final pool %d processes\n",
+			res.Joined, len(crashes), restarts, *procs+res.Joined)
+	}
 	agg := res.Met.AggregateBreakdown()
 	parts := make([]string, 0, 5)
 	for _, a := range []metrics.Activity{metrics.BB, metrics.Comm, metrics.Contract, metrics.LB, metrics.Idle} {

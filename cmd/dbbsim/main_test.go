@@ -22,3 +22,24 @@ func TestCrashListParsing(t *testing.T) {
 		}
 	}
 }
+
+func TestJoinListParsing(t *testing.T) {
+	var j joinList
+	if err := j.Set("25:4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Set("60.5:1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(j) != 2 || j[0].Time != 25 || j[0].Count != 4 || j[1].Time != 60.5 || j[1].Count != 1 {
+		t.Errorf("parsed = %+v", j)
+	}
+	if j.String() == "" {
+		t.Error("empty String")
+	}
+	for _, bad := range []string{"", "25", "a:b", "25:x", "25:0", "25:-3", "1:2:3"} {
+		if err := j.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}

@@ -42,6 +42,21 @@ type Crash struct {
 	Restart float64
 }
 
+// Join schedules Count brand-new processes to enter the computation at
+// virtual time Time — elastic membership, the converse of Crash. Joiners get
+// fresh dense identities after the initial Procs (assigned in event-time
+// order), announce themselves, are absorbed into every live peer view,
+// bootstrap their completion tables from a neighbor via the Full-root
+// subtree transfer, and start stealing work. Without UseMembership the view
+// change is the predetermined-pool analogue: every process's view tracks the
+// scheduled member count as a pure function of virtual time, so runs stay
+// deterministic in (scenario, seed) and invariant in the shard count. With
+// UseMembership joiners run the real §5.2 announce/absorb path.
+type Join struct {
+	Time  float64 // virtual time the processes come up
+	Count int
+}
+
 // Partition isolates Group from everyone else during [Start, End).
 type Partition struct {
 	Start, End float64
@@ -187,9 +202,10 @@ type Config struct {
 	// predetermined pool ("we do not include yet the membership protocol").
 	UseMembership bool
 
-	// Fault injection.
+	// Fault injection and elastic membership.
 	Crashes    []Crash
 	Partitions []Partition
+	Joins      []Join
 
 	// MaxTime aborts a run that fails to terminate (0 = 1e9 seconds).
 	MaxTime float64

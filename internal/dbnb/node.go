@@ -98,11 +98,19 @@ type node struct {
 	idleStart float64 // <0 when not idle
 	met       *metrics.Node
 
-	// peersCache is the static membership view (every process but this one),
-	// built once: without the membership protocol the view never changes, and
-	// rebuilding it on every core decision is O(procs) — ruinous at the
-	// 1000-process stress tier.
+	// peersCache is the cached membership view (every process but this one).
+	// Without joins the view never changes and this is built once —
+	// rebuilding it on every core decision is O(procs), ruinous at the
+	// 1000-process stress tier. Elastic runs rebuild it only when the
+	// scheduled member count moves past a join epoch; viewSize is the epoch
+	// (member count) the cache was built for, 0 = unbuilt.
 	peersCache []protocol.NodeID
+	viewSize   int
+
+	// bootTimer is a late joiner's pending bootstrap pull (cancelled at
+	// crash like the periodic chains).
+	bootTimer  sim.Event
+	bootTickFn func()
 }
 
 // nodeSender transmits the core's canonical messages over the simulated
@@ -134,7 +142,10 @@ func (s nodeSender) Send(to protocol.NodeID, m protocol.Msg) {
 // destination shard instead of procs² pending events.
 func (s nodeSender) Broadcast(peers []protocol.NodeID, m protocol.Msg) {
 	n := s.n
-	if n.sh.legacy {
+	if n.sh.legacy || n.h.elastic {
+		// Legacy path, and elastic views on any kernel: the ring-range fast
+		// path below walks a window of the full static ring, which is wrong
+		// the moment the live member set is a prefix of the identity space.
 		for _, p := range peers {
 			s.Send(p, m)
 		}
@@ -156,13 +167,18 @@ func newNode(id sim.NodeID, h *harness, sh *shardCtx) *node {
 		n.rng = sh.k.Rand()
 	} else {
 		n.rng = rand.New(rand.NewSource(sim.DeriveSeed(h.cfg.Seed, int(id))))
-		// The static peer view is a window into the shared doubled ring:
-		// every process but this one, O(1) extra memory per node where the
-		// legacy per-node cache is O(procs).
-		n.peersCache = h.ring[int(id)+1 : int(id)+h.cfg.Procs]
+		if !h.elastic {
+			// The static peer view is a window into the shared doubled ring:
+			// every process but this one, O(1) extra memory per node where
+			// the legacy per-node cache is O(procs). Elastic views are
+			// epoch-built lazily instead — the window arithmetic assumes
+			// full membership.
+			n.peersCache = h.ring[int(id)+1 : int(id)+h.cfg.Procs]
+		}
 	}
 	n.reportTickFn = n.reportTick
 	n.tableTickFn = n.tableTick
+	n.bootTickFn = n.bootstrapTick
 	n.wakeFn = n.wakeup
 	n.expandDoneFn = n.expandDone
 	n.drainDoneFn = n.drainDone
@@ -211,6 +227,22 @@ func (n *node) initCore() {
 // pre-assigned a window of the shared ring at construction.
 func (n *node) peerView() []protocol.NodeID {
 	if !n.h.cfg.UseMembership {
+		if n.h.elastic {
+			// Predetermined elastic pool: the view is every process scheduled
+			// to exist at this node's current clock. The cache is rebuilt
+			// only when the clock crosses a join epoch, so between epochs the
+			// view read stays O(1) and allocation-free.
+			if m := n.h.memberCountAt(n.k.Now()); m != n.viewSize {
+				n.peersCache = n.peersCache[:0]
+				for i := 0; i < m; i++ {
+					if sim.NodeID(i) != n.id {
+						n.peersCache = append(n.peersCache, protocol.NodeID(i))
+					}
+				}
+				n.viewSize = m
+			}
+			return n.peersCache
+		}
 		if n.peersCache == nil {
 			n.peersCache = make([]protocol.NodeID, 0, len(n.h.nodes)-1)
 			for i := range n.h.nodes {
@@ -319,6 +351,30 @@ func (n *node) tableTick() {
 		n.core.SendTable(peers[n.rng.Intn(len(peers))])
 	}
 	n.tableTimer = n.k.After(n.h.cfg.TableInterval, n.tableTickFn)
+}
+
+// bootstrapTick is a late joiner's table-bootstrap chain: while the joiner
+// still knows nothing, pull a neighbor's whole completion table through the
+// Full-root subtree transfer (the crash-restart rejoin payload), retrying on
+// the request-timeout cadence until a reply lands — replies can be lost, and
+// under §5.2 membership the first ticks may find the view still empty. The
+// chain stops at the first completion learned (after that, ordinary gossip
+// converges the table) and never runs for initial processes, so scheduled
+// runs without joins are untouched.
+func (n *node) bootstrapTick() {
+	if n.dead() || n.core.Table().Len() > 0 {
+		return
+	}
+	if peers := n.peerView(); len(peers) > 0 {
+		n.core.Bootstrap(peers[n.rng.Intn(len(peers))])
+	} else if n.h.cfg.UseMembership && n.id != 0 {
+		// View not absorbed yet: pull from the gossip server, the one
+		// address a joiner knows before the group knows it. The reply also
+		// carries fresh activity evidence, keeping the empty-view joiner
+		// from misreading gossip lag as global quiescence.
+		n.core.Bootstrap(0)
+	}
+	n.bootTimer = n.k.After(n.h.cfg.RequestTimeout, n.bootTickFn)
 }
 
 // --- load balancing and recovery ---------------------------------------------
@@ -603,6 +659,7 @@ func (n *node) crash() {
 	n.reqTimer.Cancel()
 	n.reportTimer.Cancel()
 	n.tableTimer.Cancel()
+	n.bootTimer.Cancel()
 }
 
 // restart reboots a crashed node under its old identity (§5.2 rejoin): an

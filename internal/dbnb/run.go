@@ -3,6 +3,7 @@ package dbnb
 import (
 	"encoding/binary"
 	"math"
+	"sort"
 
 	"gossipbnb/internal/bnb"
 	"gossipbnb/internal/btree"
@@ -35,9 +36,13 @@ type Result struct {
 	Expanded  int
 	Unique    int
 	Redundant int
-	// DetectTimes holds each process's termination-detection time
-	// (NaN = crashed, +Inf = never detected).
+	// DetectTimes holds each process's termination-detection time, indexed
+	// by identity — initial processes first, then joiners in join order
+	// (NaN = crashed or never entered, +Inf = entered but never detected).
 	DetectTimes []float64
+	// Joined counts the scheduled joiners that actually entered before the
+	// run ended.
+	Joined int
 	// Completions counts completion events summed over processes.
 	Completions int
 	// Events is the total simulator events fired — the denominator of the
@@ -100,6 +105,14 @@ type harness struct {
 	w      workload
 	mesh   *sim.Mesh // nil in legacy single-kernel mode
 	shards []*shardCtx
+	// joins is the validated, time-sorted elastic-membership schedule;
+	// total is Procs plus every scheduled joiner. elastic marks runs with a
+	// non-empty schedule: their peer views are epoch-dependent, so the
+	// static-view caches (and the ring broadcast fast path, whose window
+	// arithmetic assumes full membership) are off.
+	joins   []Join
+	total   int
+	elastic bool
 	// k/nw alias shards[0] in legacy mode, for the membership machinery
 	// that only runs there.
 	k  *sim.Kernel
@@ -127,6 +140,71 @@ func (h *harness) shardOf(i int) *shardCtx {
 // protocol (§5.2). Only the legacy path runs membership.
 func (h *harness) view(self sim.NodeID) []sim.NodeID {
 	return h.members[self].Peers()
+}
+
+// memberCountAt is the predetermined-pool membership function: how many
+// processes exist at virtual time t under the join schedule. Every process
+// derives its peer view from this pure function of its own clock, so views
+// converge within one lookahead window without any message exchange — the
+// deterministic analogue of §5.2 absorption — and sharded runs stay
+// invariant in the shard count.
+func (h *harness) memberCountAt(t float64) int {
+	m := h.cfg.Procs
+	for _, j := range h.joins {
+		if j.Time > t {
+			break
+		}
+		m += j.Count
+	}
+	return m
+}
+
+// registerNode wires a node's network handler, routing §5.2 membership
+// traffic to its membership agent when the protocol is on. The member is
+// looked up per delivery, not captured: a restart replaces it with a
+// brand-new one rejoining the group.
+func (h *harness) registerNode(n *node) {
+	if !h.cfg.UseMembership {
+		n.sh.nw.Register(n.id, n.deliver)
+		return
+	}
+	id := n.id
+	h.nw.Register(id, func(from sim.NodeID, msg sim.Message) {
+		if member.IsProtocolMessage(msg) {
+			h.members[id].Deliver(from, msg)
+			return
+		}
+		n.deliver(from, msg)
+	})
+}
+
+// spawnJoiner brings one scheduled joiner up mid-run: a brand-new process
+// under a fresh identity, registered on its owner shard's network, announced
+// to the group (§5.2 when membership runs), its periodic chains staggered
+// like a boot, and its bootstrap pull chain started. The fresh core is
+// seeded with zero-age activity evidence — a process launched into a
+// running system must not read its own empty table and view as global
+// quiescence and recover the root before the handshake completes.
+func (h *harness) spawnJoiner(id int) {
+	nid := sim.NodeID(id)
+	sh := h.shardOf(id)
+	n := newNode(nid, h, sh)
+	h.nodes[id] = n
+	if h.cfg.UseMembership {
+		h.members[id] = member.New(h.k, h.nw, nid, []sim.NodeID{0}, member.DefaultConfig())
+	}
+	h.registerNode(n)
+	if h.cfg.UseMembership {
+		h.members[id].Join()
+	}
+	n.core.NoteRemoteActivity(0)
+	jitter := n.rng.Float64()
+	n.reportTimer = n.k.After(jitter*h.cfg.ReportTimeout, n.reportTickFn)
+	if h.cfg.TableInterval > 0 {
+		n.tableTimer = n.k.After(jitter*h.cfg.TableInterval, n.tableTickFn)
+	}
+	n.bootstrapTick()
+	n.loop()
 }
 
 // rejoinMember replaces a restarted process's membership agent with a fresh
@@ -287,13 +365,38 @@ func shardCount(cfg Config) int {
 	return s
 }
 
+// normalizeJoins validates and time-sorts the join schedule: joiner
+// identities are assigned densely in event-time order, so the sort makes
+// memberCountAt monotone and the identity assignment deterministic.
+func normalizeJoins(joins []Join) []Join {
+	out := make([]Join, 0, len(joins))
+	for _, j := range joins {
+		if j.Count <= 0 {
+			continue
+		}
+		if j.Time < 0 {
+			j.Time = 0
+		}
+		out = append(out, j)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Time < out[b].Time })
+	return out
+}
+
 func run(cfg Config, w workload) Result {
 	cfg = cfg.withDefaults()
-	h := &harness{cfg: cfg, w: w, met: metrics.NewSystem(cfg.Procs)}
+	h := &harness{cfg: cfg, w: w}
+	h.joins = normalizeJoins(cfg.Joins)
+	h.elastic = len(h.joins) > 0
+	h.total = cfg.Procs
+	for _, j := range h.joins {
+		h.total += j.Count
+	}
+	h.met = metrics.NewSystem(h.total)
 
 	if S := shardCount(cfg); S >= 1 {
 		h.mesh = sim.NewMesh(cfg.Seed, S, cfg.Latency, shardLookahead(cfg))
-		h.mesh.PlaceBlocks(cfg.Procs)
+		h.mesh.PlaceBlocks(h.total)
 		h.shards = make([]*shardCtx, S)
 		for s := 0; s < S; s++ {
 			h.shards[s] = &shardCtx{
@@ -302,10 +405,14 @@ func run(cfg Config, w workload) Result {
 				expanded: make(map[string]bool, w.sizeHint/S+1),
 			}
 		}
-		h.ring = make([]protocol.NodeID, 2*cfg.Procs)
-		for i := 0; i < cfg.Procs; i++ {
-			h.ring[i] = protocol.NodeID(i)
-			h.ring[i+cfg.Procs] = protocol.NodeID(i)
+		if !h.elastic {
+			// The shared doubled ring backs the static sharded views and the
+			// ring-range broadcast; elastic views are epoch-built per node.
+			h.ring = make([]protocol.NodeID, 2*cfg.Procs)
+			for i := 0; i < cfg.Procs; i++ {
+				h.ring[i] = protocol.NodeID(i)
+				h.ring[i+cfg.Procs] = protocol.NodeID(i)
+			}
 		}
 	} else {
 		h.k = sim.New(cfg.Seed)
@@ -344,29 +451,32 @@ func run(cfg Config, w workload) Result {
 		}
 	}
 
-	h.nodes = make([]*node, cfg.Procs)
+	h.nodes = make([]*node, h.total)
 	if cfg.UseMembership {
-		h.members = make([]*member.Member, cfg.Procs)
+		h.members = make([]*member.Member, h.total)
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		id := sim.NodeID(i)
-		sh := h.shardOf(i)
-		h.nodes[i] = newNode(id, h, sh)
-		n := h.nodes[i]
+		h.nodes[i] = newNode(id, h, h.shardOf(i))
 		if cfg.UseMembership {
 			h.members[i] = member.New(h.k, h.nw, id, []sim.NodeID{0}, member.DefaultConfig())
-			// The member is looked up per delivery, not captured: a restart
-			// replaces it with a brand-new one rejoining the group.
-			h.nw.Register(id, func(from sim.NodeID, msg sim.Message) {
-				if member.IsProtocolMessage(msg) {
-					h.members[id].Deliver(from, msg)
-					return
-				}
-				n.deliver(from, msg)
-			})
+		}
+		h.registerNode(h.nodes[i])
+		if cfg.UseMembership {
 			h.members[i].Join()
-		} else {
-			sh.nw.Register(id, n.deliver)
+		}
+	}
+
+	// Elastic membership: scheduled joiners come up mid-run, each on its
+	// owner shard's clock, under fresh identities in event-time order.
+	nextID := cfg.Procs
+	for _, j := range h.joins {
+		for c := 0; c < j.Count; c++ {
+			id := nextID
+			nextID++
+			sh := h.shardOf(id)
+			at := j.Time
+			sh.k.At(at, func() { h.spawnJoiner(id) })
 		}
 	}
 
@@ -374,11 +484,12 @@ func run(cfg Config, w workload) Result {
 	// through the load-balancing mechanism.
 	h.nodes[0].core.Seed(h.nodes[0].exp.Root())
 
-	for i := range h.nodes {
+	for i := 0; i < cfg.Procs; i++ {
 		n := h.nodes[i]
 		// Stagger periodic timers so they do not synchronize system-wide.
 		// The handles are kept so a crash before the first tick can cancel
-		// the boot chain — a restart starts a fresh one.
+		// the boot chain — a restart starts a fresh one. (Joiners get the
+		// same treatment in spawnJoiner, at join time.)
 		jitter := n.rng.Float64()
 		n.reportTimer = n.k.At(jitter*cfg.ReportTimeout, n.reportTickFn)
 		if cfg.TableInterval > 0 {
@@ -389,15 +500,20 @@ func run(cfg Config, w workload) Result {
 
 	for _, c := range cfg.Crashes {
 		c := c
-		if c.Node < 0 || c.Node >= cfg.Procs {
+		if c.Node < 0 || c.Node >= h.total {
 			continue
 		}
 		// Failure events live on the failing process's own shard: crash
 		// state is owned by the shard's network, like every delivery check.
+		// A scheduled joiner's node may not exist yet when its crash fires
+		// (the join is later, or never came); the crash then only marks the
+		// network, exactly like crashing a process that never booted.
 		sh := h.shardOf(c.Node)
 		sh.k.At(c.Time, func() {
 			sh.nw.Crash(sim.NodeID(c.Node))
-			h.nodes[c.Node].crash()
+			if n := h.nodes[c.Node]; n != nil {
+				n.crash()
+			}
 		})
 		if c.Restart > c.Time {
 			// Crash-restart: the process reboots under its old identity and
@@ -405,7 +521,9 @@ func run(cfg Config, w workload) Result {
 			// restart triggers is not swallowed by its own crashed mark.
 			sh.k.At(c.Restart, func() {
 				sh.nw.Restore(sim.NodeID(c.Node))
-				h.nodes[c.Node].restart()
+				if n := h.nodes[c.Node]; n != nil {
+					n.restart()
+				}
 			})
 		}
 	}
@@ -443,7 +561,7 @@ func run(cfg Config, w workload) Result {
 		Time:        lastDet,
 		FirstDetect: firstDet,
 		Optimum:     math.Inf(1),
-		DetectTimes: make([]float64, cfg.Procs),
+		DetectTimes: make([]float64, h.total),
 		Met:         h.met,
 		Completions: completions,
 		Shards:      len(h.shards),
@@ -477,6 +595,16 @@ func run(cfg Config, w workload) Result {
 	res.Terminated = true
 	anyDetected := false
 	for i, n := range h.nodes {
+		if n == nil {
+			// A scheduled joiner that never entered (its join time lay beyond
+			// the run): it never participated, so like a crashed process it
+			// neither counts toward nor blocks termination.
+			res.DetectTimes[i] = math.NaN()
+			continue
+		}
+		if i >= cfg.Procs {
+			res.Joined++
+		}
 		// Fold the core's protocol-event tallies into the metrics. The
 		// driver accounts only what the substrate defines (time splits,
 		// storage peaks, expansions it paid for); event counts are the

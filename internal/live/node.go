@@ -1,6 +1,7 @@
 package live
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -107,12 +108,15 @@ type liveNode struct {
 	// the cluster-level tally must not lose it.
 	expanded atomic.Int64
 
-	// peersCache is the predetermined resource pool (every other process),
-	// built once at construction: the view is static, the core reads it
-	// without retaining or mutating it, and rebuilding it on every protocol
-	// decision allocated O(nodes) per decision. A restarted process keeps
-	// the same pool — machine identity, not view state.
-	peersCache []protocol.NodeID
+	// view is the node's current peer view: the boot-time resource pool,
+	// plus every member learned since via the Hello/Welcome join gossip. It
+	// is a copy-on-write slice behind an atomic pointer — the core reads it
+	// on every protocol decision with a single load, no lock and no
+	// allocation on the send path, while joins (rare) copy and swap under
+	// viewMu. A restarted process keeps its view — machine identity, not
+	// incarnation state.
+	view   atomic.Pointer[[]protocol.NodeID]
+	viewMu sync.Mutex
 }
 
 // incarnation is one boot of a liveNode: everything a crash wipes. The §5
@@ -125,6 +129,14 @@ type incarnation struct {
 	exp   protocol.Expander // this incarnation's own code resolver
 
 	lastProbe time.Time // paces starvation probes RetryDelay apart
+
+	// contacts is non-nil on a joiner's first incarnation: the members it
+	// announces itself to. Until one of them answers with a Welcome
+	// (welcomed), the announcement is re-sent on the RetryDelay cadence —
+	// the Hello, or its answer, can be lost like any message.
+	contacts  []NodeID
+	welcomed  bool
+	lastHello time.Time
 }
 
 // Cluster wires live nodes over a shared transport. It solves either a
@@ -229,12 +241,13 @@ func newCluster(cfg Config, newExp func() protocol.Expander, sleepOf func(it pro
 	for i := 0; i < cfg.Nodes; i++ {
 		id := NodeID(i)
 		n := &liveNode{id: id, cl: cl}
-		n.peersCache = make([]protocol.NodeID, 0, cfg.Nodes-1)
+		view := make([]protocol.NodeID, 0, cfg.Nodes-1)
 		for j := 0; j < cfg.Nodes; j++ {
 			if j != i {
-				n.peersCache = append(n.peersCache, protocol.NodeID(j))
+				view = append(view, protocol.NodeID(j))
 			}
 		}
+		n.view.Store(&view)
 		n.cur = cl.newIncarnation(n, 0, cl.tr.Register(id))
 		cl.nodes = append(cl.nodes, n)
 	}
@@ -273,12 +286,12 @@ func (cl *Cluster) newIncarnation(n *liveNode, gen int64, inbox <-chan Envelope)
 // concurrent crash and rebirth of the same node cannot interleave their
 // flag and transport updates into a half-dead state.
 func (cl *Cluster) Crash(id NodeID) {
+	cl.stopMu.Lock()
 	if int(id) < len(cl.nodes) {
-		cl.stopMu.Lock()
 		cl.nodes[id].crashed.Store(true)
 		cl.tr.Crash(id)
-		cl.stopMu.Unlock()
 	}
+	cl.stopMu.Unlock()
 }
 
 // Restart reboots a crashed node mid-run under its old identity: it
@@ -289,6 +302,13 @@ func (cl *Cluster) Crash(id NodeID) {
 // tables, and grants it receives. Restarting a node that is not crashed is
 // a no-op.
 func (cl *Cluster) Restart(id NodeID) {
+	// The whole rebirth happens under stopMu: Run's completion check closes
+	// the run under the same lock, so a restart either lands before it (the
+	// run extends and waits for the reborn node) or sees stopped and leaves
+	// every node untouched — never a half-revived node in a closed run.
+	// (AddNode also appends to cl.nodes under this lock.)
+	cl.stopMu.Lock()
+	defer cl.stopMu.Unlock()
 	if int(id) >= len(cl.nodes) {
 		return
 	}
@@ -298,12 +318,6 @@ func (cl *Cluster) Restart(id NodeID) {
 		// has already played its part in §5.4 and stays down.
 		return
 	}
-	// The whole rebirth happens under stopMu: Run's completion check closes
-	// the run under the same lock, so a restart either lands before it (the
-	// run extends and waits for the reborn node) or sees stopped and leaves
-	// every node untouched — never a half-revived node in a closed run.
-	cl.stopMu.Lock()
-	defer cl.stopMu.Unlock()
 	if !cl.started || cl.stopped {
 		return // not running: the boot spawn or nothing would double-drive it
 	}
@@ -320,6 +334,51 @@ func (cl *Cluster) Restart(id NodeID) {
 	n.crashed.Store(false)
 	cl.wg.Add(1)
 	go inc.run()
+}
+
+// AddNode grows a running cluster by one brand-new process — elastic
+// membership's join, the live counterpart of the simulator's Join events.
+// The node gets the next free identity and a fresh transport endpoint (for
+// TCP, a fresh listener whose address spreads via the join gossip), starts
+// with only the contacts in its view (default: node 0), and announces itself
+// to them. The Hello flood absorbs it into every live peer view, the first
+// Welcome triggers its completion-table bootstrap, and from then on it
+// steals, expands, and reports like any boot-time member. AddNode only works
+// on a running cluster; it returns the new identity.
+func (cl *Cluster) AddNode(contacts ...NodeID) (NodeID, error) {
+	cl.stopMu.Lock()
+	defer cl.stopMu.Unlock()
+	if !cl.started || cl.stopped {
+		return 0, fmt.Errorf("live: AddNode on a cluster that is not running")
+	}
+	id := NodeID(len(cl.nodes))
+	inbox := cl.tr.Add(id)
+	if inbox == nil {
+		return 0, fmt.Errorf("live: transport already closed")
+	}
+	if len(contacts) == 0 {
+		contacts = []NodeID{0}
+	}
+	n := &liveNode{id: id, cl: cl}
+	view := make([]protocol.NodeID, 0, len(contacts))
+	for _, c := range contacts {
+		if c != id {
+			view = append(view, protocol.NodeID(c))
+		}
+	}
+	n.view.Store(&view)
+	inc := cl.newIncarnation(n, 0, inbox)
+	inc.contacts = append([]NodeID(nil), contacts...)
+	// Seed the remote-activity anchor: a joiner's empty table means "I know
+	// nothing yet", not "the cluster is quiet" — without the anchor the
+	// recovery path could adopt the complement of an empty table (the root)
+	// and redo the whole tree.
+	inc.core.NoteRemoteActivity(0)
+	n.cur = inc
+	cl.nodes = append(cl.nodes, n)
+	cl.wg.Add(1)
+	go inc.run()
+	return id, nil
 }
 
 // allDone reports whether every non-crashed node detected termination.
@@ -440,11 +499,33 @@ loop:
 	return res
 }
 
-// peers returns every other process (the predetermined resource pool of the
-// paper's experiments, crashed members included — failures only manifest as
-// unanswered requests).
+// peers returns the node's current view (crashed members included — failures
+// only manifest as unanswered requests). The slice is immutable once
+// published; the core reads it without retaining or mutating it.
 func (n *liveNode) peers() []protocol.NodeID {
-	return n.peersCache
+	return *n.view.Load()
+}
+
+// learnPeer absorbs a newly learned member into the view (copy-on-write).
+// It reports whether the member was news — the signal to forward its Hello
+// onward, flooding the join through the cluster from one contact.
+func (n *liveNode) learnPeer(id protocol.NodeID) bool {
+	if NodeID(id) == n.id {
+		return false
+	}
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
+	cur := *n.view.Load()
+	for _, p := range cur {
+		if p == id {
+			return false
+		}
+	}
+	next := make([]protocol.NodeID, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = id
+	n.view.Store(&next)
+	return true
 }
 
 // run is the incarnation goroutine: alternate work and message handling,
@@ -478,6 +559,7 @@ func (inc *incarnation) run() {
 			}
 			continue
 		}
+		inc.maybeAnnounce()
 		// Handle all pending messages.
 		drained := false
 		for !drained {
@@ -500,13 +582,101 @@ func (inc *incarnation) run() {
 	}
 }
 
-// handle feeds one delivered message to the core.
+// handle feeds one delivered message to the core. The membership handshake
+// (Hello/Welcome) is driver business — views live in the driver, exactly as
+// in the simulator — so those two kinds are intercepted before the core.
 func (inc *incarnation) handle(env Envelope) protocol.Effect {
+	switch m := env.Msg.(type) {
+	case protocol.Hello:
+		inc.onHello(env.From, m)
+		return protocol.Effect{}
+	case protocol.Welcome:
+		inc.onWelcome(env.From, m)
+		return protocol.Effect{}
+	}
 	pm, ok := env.Msg.(protocol.Msg)
 	if !ok {
 		return protocol.Effect{}
 	}
 	return inc.core.HandleMessage(protocol.NodeID(env.From), pm)
+}
+
+// onHello absorbs a join announcement (§5.2 over the canonical wire): learn
+// the joiner's address and membership, answer with this node's own view so
+// the joiner can populate its pool and bootstrap its table, and — when the
+// joiner was news — forward the hello to the rest of the view, flooding the
+// join through the cluster from a single contact. Views reached at different
+// times stay inconsistent for a while; that is safe, as the resource pool
+// only steers randomized work exchange (see the Chandra et al. note in
+// member.go).
+func (inc *incarnation) onHello(from NodeID, h protocol.Hello) {
+	n := inc.n
+	cl := n.cl
+	cl.tr.Learn(NodeID(h.ID), h.Addr)
+	fresh := n.learnPeer(h.ID)
+	view := n.peers()
+	peers := make([]protocol.Peer, 0, len(view)+1)
+	peers = append(peers, protocol.Peer{ID: protocol.NodeID(n.id), Addr: cl.tr.AddrOf(n.id)})
+	for _, p := range view {
+		if p == h.ID {
+			continue
+		}
+		peers = append(peers, protocol.Peer{ID: p, Addr: cl.tr.AddrOf(NodeID(p))})
+	}
+	cl.tr.Send(n.id, NodeID(h.ID), protocol.Welcome{
+		Peers:     peers,
+		Incumbent: inc.core.Incumbent(),
+		ActAge:    inc.core.ActivityAge(),
+	})
+	if fresh {
+		for _, p := range view {
+			if p == h.ID || NodeID(p) == from {
+				continue
+			}
+			cl.tr.Send(n.id, NodeID(p), h)
+		}
+	}
+}
+
+// onWelcome merges a join answer: the responder's whole view, addresses
+// included. The responder's activity evidence anchors the fresh core's
+// remote-activity clock (an empty table must not read as global quiescence),
+// and until the first subtree lands the joiner pulls its completion-table
+// bootstrap — the Full-root subtree transfer — from whoever welcomed it.
+func (inc *incarnation) onWelcome(from NodeID, w protocol.Welcome) {
+	n := inc.n
+	for _, p := range w.Peers {
+		n.cl.tr.Learn(NodeID(p.ID), p.Addr)
+		n.learnPeer(p.ID)
+	}
+	inc.core.NoteRemoteActivity(w.ActAge)
+	if !inc.welcomed || inc.core.Table().Len() == 0 {
+		inc.welcomed = true
+		inc.core.Bootstrap(protocol.NodeID(from))
+	}
+}
+
+// maybeAnnounce is the joiner's half of the handshake: until somebody
+// welcomes it, it re-announces itself to its contacts on the RetryDelay
+// cadence.
+func (inc *incarnation) maybeAnnounce() {
+	if inc.contacts == nil || inc.welcomed {
+		return
+	}
+	cl := inc.n.cl
+	if time.Since(inc.lastHello) < cl.cfg.RetryDelay {
+		return
+	}
+	inc.lastHello = time.Now()
+	h := protocol.Hello{
+		ID:        protocol.NodeID(inc.n.id),
+		Addr:      cl.tr.AddrOf(inc.n.id),
+		Incumbent: inc.core.Incumbent(),
+		ActAge:    inc.core.ActivityAge(),
+	}
+	for _, c := range inc.contacts {
+		cl.tr.Send(inc.n.id, c, h)
+	}
 }
 
 // expand performs one unit of work: tree replays sleep the scaled recorded

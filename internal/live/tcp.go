@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"gossipbnb/internal/protocol"
 )
@@ -21,13 +23,31 @@ type TCPNetwork struct {
 	inboxes map[NodeID]chan Envelope
 	conns   map[[2]NodeID]*tcpConn // (from, to) -> outbound connection
 	crashed map[NodeID]bool
+	backoff map[NodeID]*dialBackoff // per destination: failed-dial suppression
 	closed  bool
 	sent    int64
 	dropped int64
 	bytes   int64
+	dials   int64
 	kinds   KindStats
 	wg      sync.WaitGroup
 }
+
+// dialBackoff is bounded jittered exponential backoff toward one destination:
+// after a failed dial, further dials to it are suppressed until nextTry, with
+// the window doubling up to dialBackoffCap; a successful dial resets it. It
+// keeps a sender whose peer is not yet listening — a joiner announcing before
+// its contact's listener is up, or a crashed machine mid-reboot — from
+// hot-looping connect attempts at send rate.
+type dialBackoff struct {
+	delay   time.Duration
+	nextTry time.Time
+}
+
+const (
+	dialBackoffBase = time.Millisecond
+	dialBackoffCap  = 200 * time.Millisecond
+)
 
 type tcpConn struct {
 	mu  sync.Mutex
@@ -44,6 +64,7 @@ func NewTCPNetwork(n int) (*TCPNetwork, error) {
 		inboxes: map[NodeID]chan Envelope{},
 		conns:   map[[2]NodeID]*tcpConn{},
 		crashed: map[NodeID]bool{},
+		backoff: map[NodeID]*dialBackoff{},
 	}
 	for i := 0; i < n; i++ {
 		id := NodeID(i)
@@ -75,6 +96,53 @@ func (t *TCPNetwork) Register(id NodeID) <-chan Envelope {
 	defer t.mu.Unlock()
 	return t.inboxes[id]
 }
+
+// Add implements Net: a brand-new node joins mid-run — a fresh listener on a
+// fresh loopback port, a fresh inbox. Its address spreads to the rest of the
+// cluster via the Hello/Welcome gossip, after which peers dial it on demand.
+func (t *TCPNetwork) Add(id NodeID) <-chan Envelope {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	ch := make(chan Envelope, inboxCap)
+	t.inboxes[id] = ch
+	t.mu.Unlock()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ch // no listener: the node can send but never receive
+	}
+	t.mu.Lock()
+	if t.closed || t.crashed[id] {
+		t.mu.Unlock()
+		ln.Close()
+		return ch
+	}
+	t.lns[id] = ln
+	t.addrs[id] = ln.Addr().String()
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.acceptLoop(id, ln)
+	return ch
+}
+
+// Learn implements Net: record a gossiped dialable address for id. A node's
+// own listener address always wins — Learn only fills gaps, so a stale
+// gossiped address cannot clobber a live endpoint's fresh one.
+func (t *TCPNetwork) Learn(id NodeID, addr string) {
+	if addr == "" {
+		return
+	}
+	t.mu.Lock()
+	if t.addrs[id] == "" {
+		t.addrs[id] = addr
+	}
+	t.mu.Unlock()
+}
+
+// AddrOf implements Net.
+func (t *TCPNetwork) AddrOf(id NodeID) string { return t.Addr(id) }
 
 // Restart implements Net: the crashed node reboots under its old identity —
 // a fresh listener on its recorded address, a fresh empty inbox. Peers
@@ -245,7 +313,12 @@ func (t *TCPNetwork) Send(from, to NodeID, msg Message) {
 	t.mu.Unlock()
 
 	if c == nil {
+		if addr == "" || !t.dialGate(to) {
+			t.drop() // destination unknown, or inside a backoff window
+			return
+		}
 		conn, err := net.Dial("tcp", addr)
+		t.noteDialResult(to, err == nil)
 		if err != nil {
 			t.drop()
 			return
@@ -289,6 +362,52 @@ func (t *TCPNetwork) Send(from, to NodeID, msg Message) {
 		t.mu.Unlock()
 		c.c.Close()
 	}
+}
+
+// dialGate reports whether a dial to `to` may proceed now, counting the
+// attempt. While a backoff window is open the send is suppressed — it drops
+// like any lost message, which the asynchronous model already allows.
+func (t *TCPNetwork) dialGate(to NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b := t.backoff[to]; b != nil && time.Now().Before(b.nextTry) {
+		return false
+	}
+	t.dials++
+	return true
+}
+
+// noteDialResult updates the destination's backoff state: success resets it,
+// failure doubles the suppression window (full jitter in [delay/2, delay], so
+// concurrent senders to a down peer desynchronize) up to dialBackoffCap.
+func (t *TCPNetwork) noteDialResult(to NodeID, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ok {
+		delete(t.backoff, to)
+		return
+	}
+	b := t.backoff[to]
+	if b == nil {
+		b = &dialBackoff{delay: dialBackoffBase}
+		t.backoff[to] = b
+	} else if b.delay < dialBackoffCap {
+		b.delay *= 2
+		if b.delay > dialBackoffCap {
+			b.delay = dialBackoffCap
+		}
+	}
+	jitter := b.delay/2 + time.Duration(rand.Int63n(int64(b.delay/2)+1))
+	b.nextTry = time.Now().Add(jitter)
+}
+
+// DialStats returns how many TCP connect attempts Send made — the backoff
+// regression tests pin that an unreachable peer costs a bounded trickle of
+// dials, not one per message.
+func (t *TCPNetwork) DialStats() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dials
 }
 
 func (t *TCPNetwork) drop() {

@@ -34,6 +34,17 @@ type Net interface {
 	// fresh, empty inbox: messages that arrived while it was down stay
 	// lost, exactly like a machine rebooting.
 	Restart(id NodeID) <-chan Envelope
+	// Add creates a brand-new endpoint mid-run — elastic membership's join —
+	// and returns its inbox, or nil if the transport is already closed. For
+	// TCP it brings up a fresh listener whose address peers then learn via
+	// the Hello/Welcome gossip.
+	Add(id NodeID) <-chan Envelope
+	// Learn records a dialable address gossiped for id. Transports that
+	// route by identity alone (the in-memory one) ignore it.
+	Learn(id NodeID, addr string)
+	// AddrOf returns id's dialable address, or "" when unknown or when the
+	// transport routes by identity.
+	AddrOf(id NodeID) string
 	// Send queues msg for asynchronous delivery; it must never block the
 	// caller and may drop silently (loss, crash, congestion).
 	Send(from, to NodeID, msg Message)
@@ -179,6 +190,26 @@ func (t *Transport) Restart(id NodeID) <-chan Envelope {
 	t.inboxes[id] = ch
 	return ch
 }
+
+// Add implements Net: a brand-new endpoint joins mid-run. In memory that is
+// just a fresh inbox; identity is the only address there is.
+func (t *Transport) Add(id NodeID) <-chan Envelope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	ch := make(chan Envelope, inboxCap)
+	t.inboxes[id] = ch
+	return ch
+}
+
+// Learn implements Net: the in-memory transport routes by identity, so
+// gossiped addresses carry no information for it.
+func (t *Transport) Learn(NodeID, string) {}
+
+// AddrOf implements Net: in-memory endpoints have no dialable address.
+func (t *Transport) AddrOf(NodeID) string { return "" }
 
 // SetChaos turns on adversarial delivery: duplicated, reordered, and
 // replayed arrivals. Call it before the cluster starts sending.

@@ -190,6 +190,99 @@ func TestLostJoinIsRetried(t *testing.T) {
 	}
 }
 
+func TestHeartbeatFlapReadmits(t *testing.T) {
+	// A member that goes quiet long enough is suspected and dropped. A direct
+	// announcement from the member itself — first-hand evidence, unlike a
+	// stale relay — must flap it straight back into the view, and renewed
+	// silence must evict it again.
+	k := sim.New(12)
+	nw := sim.NewNetwork(k, nil)
+	m := New(k, nw, 0, []sim.NodeID{0}, Config{GossipInterval: 1, Fanout: 1, FailTimeout: 3})
+	nw.Register(0, func(from sim.NodeID, msg sim.Message) { m.Deliver(from, msg) })
+	m.Join()
+	m.Deliver(1, viewMessage{pairs: []hbPair{{id: 1, hb: 5}}})
+	if !m.Knows(1) {
+		t.Fatal("member 1 not admitted")
+	}
+	k.Run(10) // silence beyond FailTimeout: suspected and dropped
+	if m.Knows(1) {
+		t.Fatal("member 1 not evicted after silence")
+	}
+	// The member reappears with a direct join announce at its old heartbeat:
+	// no counter progress, but first-hand.
+	m.Deliver(1, joinMessage{id: 1})
+	if !m.Knows(1) {
+		t.Error("direct announce did not readmit the flapped member")
+	}
+	k.Run(20)
+	if m.Knows(1) {
+		t.Error("readmitted member survived renewed silence")
+	}
+}
+
+func TestLateJoinAnnounceLostAndRetried(t *testing.T) {
+	// A late joiner announces into a total blackout — the §4 adversary may
+	// drop every message. When the network heals, the joiner's periodic
+	// re-announce must get it absorbed without any outside help.
+	cfg := Config{GossipInterval: 1, Fanout: 2, FailTimeout: 30}
+	k, nw, ms := cluster(13, 5, cfg)
+	for _, m := range ms[:4] {
+		m.Join()
+	}
+	k.Run(20)
+	nw.SetLoss(1)
+	ms[4].Join()
+	k.Run(30)
+	for i, m := range ms[:4] {
+		if m.Knows(4) {
+			t.Fatalf("member %d learned of the joiner through a lossless blackout", i)
+		}
+	}
+	nw.SetLoss(0)
+	k.Run(90)
+	for i, m := range ms {
+		if !m.Knows(4) {
+			t.Errorf("member %d never absorbed the joiner after the network healed", i)
+		}
+	}
+	if got := len(ms[4].View()); got != 5 {
+		t.Errorf("joiner view size = %d, want 5 (%v)", got, ms[4].View())
+	}
+}
+
+func TestConvergenceTimeUnderLoss(t *testing.T) {
+	// View convergence slows under loss but stays bounded: with 30% of
+	// messages vanishing, a late joiner must still be in every view within a
+	// modest multiple of the lossless convergence time — and well inside
+	// FailTimeout, or churn would outrun detection.
+	cfg := Config{GossipInterval: 1, Fanout: 2, FailTimeout: 60}
+	k, nw, ms := cluster(14, 8, cfg)
+	nw.SetLoss(0.3)
+	for _, m := range ms[:7] {
+		m.Join()
+	}
+	k.Run(30)
+	ms[7].Join()
+	joined := k.Now()
+	allKnow := func() bool {
+		for _, m := range ms {
+			if !m.Knows(7) {
+				return false
+			}
+		}
+		return len(ms[7].View()) == 8
+	}
+	for !allKnow() {
+		if k.Now() > joined+40 {
+			t.Fatalf("views did not converge on the joiner within 40 s of virtual time under 30%% loss")
+		}
+		k.Run(k.Now() + 1)
+	}
+	if conv := k.Now() - joined; conv > 30 {
+		t.Errorf("convergence took %.0f s — beyond the expected bound under 30%% loss", conv)
+	}
+}
+
 func TestViewMessageSize(t *testing.T) {
 	m := viewMessage{pairs: make([]hbPair, 7)}
 	if m.Size() != 1+70 {

@@ -33,6 +33,11 @@ func TestCodecRoundTrip(t *testing.T) {
 			Kids: [2]ctree.ChildDigest{{Present: true, Digest: 7}, {Present: true, Digest: 0xffffffffffffffff}}},
 		SubtreeReply{Prefix: code.Root(), BranchVar: 1,
 			Kids: [2]ctree.ChildDigest{1: {Present: true, Digest: 42}}},
+		Hello{ID: 7, Addr: "127.0.0.1:9021", Incumbent: math.Inf(1), ActAge: 0.5},
+		Hello{ID: 300, Incumbent: 1},
+		Welcome{Peers: []Peer{{ID: 0, Addr: "10.0.0.1:80"}, {ID: 5}, {ID: 999, Addr: "x"}},
+			Incumbent: -4, ActAge: 6},
+		Welcome{Incumbent: 2},
 	}
 	for _, m := range cases {
 		buf, err := Encode(nil, m)
@@ -142,6 +147,22 @@ func TestCodecRejectsGarbage(t *testing.T) {
 	if _, _, err := Decode(buf[:len(buf)-3]); err == nil {
 		t.Error("truncated child digests accepted")
 	}
+	// Hello whose address is cut off.
+	buf, _ = Encode(nil, Hello{ID: 3, Addr: "host:1234"})
+	if _, _, err := Decode(buf[:len(buf)-2]); err == nil {
+		t.Error("truncated hello address accepted")
+	}
+	// Welcome whose last peer is cut off.
+	buf, _ = Encode(nil, Welcome{Peers: []Peer{{ID: 1, Addr: "a:1"}, {ID: 2, Addr: "b:2"}}})
+	if _, _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated welcome peer accepted")
+	}
+	// Hello with a corrupt declared address length.
+	buf, _ = Encode(nil, Hello{ID: 1})
+	buf[len(buf)-1] = 0xff // addr length varint continues into nothing
+	if _, _, err := Decode(buf); err == nil {
+		t.Error("bad hello address length accepted")
+	}
 }
 
 // FuzzDecode throws arbitrary bytes at the codec: it must never panic, and
@@ -160,6 +181,8 @@ func FuzzDecode(f *testing.F) {
 		SubtreeReply{Leaf: true, Prefix: sampleCodes()[1], Rel: sampleCodes()[2:]},
 		SubtreeReply{Prefix: sampleCodes()[2], BranchVar: 3,
 			Kids: [2]ctree.ChildDigest{{Present: true, Digest: 11}}},
+		Hello{ID: 12, Addr: "127.0.0.1:8080", Incumbent: 7},
+		Welcome{Peers: []Peer{{ID: 1, Addr: "a:1"}, {ID: 2}}, ActAge: 3},
 	} {
 		buf, err := Encode(nil, m)
 		if err != nil {

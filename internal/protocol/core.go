@@ -826,6 +826,30 @@ func (c *Core) maybeSync(peer NodeID, digest uint64) {
 	c.requestSubtree(peer, code.Root())
 }
 
+// Bootstrap pulls peer's completion table, starting a digest walk at the
+// root. A brand-new joiner has an empty table, so the walk degenerates to the
+// single Full-root SubtreeRequest/SubtreeReply transfer of the crash-restart
+// rejoin path — the whole contracted frontier in one reply. Drivers call it
+// when a process joins mid-run (and may call it again if the reply is lost:
+// the walk is idempotent, and a non-empty table turns retries into cheap
+// digest-guided diffs). It works in legacy gossip mode too — subtree
+// request/reply handling is unconditional on DiffGossip.
+func (c *Core) Bootstrap(peer NodeID) {
+	if c.terminated {
+		return
+	}
+	c.lastSync = c.d.Clock.Now()
+	c.syncOut = 0
+	c.requestSubtree(peer, code.Root())
+}
+
+// NoteRemoteActivity records out-of-band evidence that some remote process
+// was computing age seconds ago. Drivers call it when a process joins an
+// already-running system: a fresh core with an empty view and an empty table
+// must not mistake its own ignorance for global quiescence and recover the
+// root (§5.3.2) before the join handshake has even completed.
+func (c *Core) NoteRemoteActivity(age float64) { c.noteActivity(age) }
+
 // requestSubtree asks peer for the content under prefix, under the walk's
 // total request budget. Full is set when this core knows nothing under prefix —
 // the responder then ships the whole subtree frontier (the restart-rejoin

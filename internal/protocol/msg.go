@@ -28,9 +28,11 @@ const (
 	KindDigestReport
 	KindSubtreeRequest
 	KindSubtreeReply
+	KindHello
+	KindWelcome
 
 	// KindCount bounds the dense kind space for accounting arrays.
-	KindCount = int(KindSubtreeReply) + 1
+	KindCount = int(KindWelcome) + 1
 )
 
 // KindName returns a short stable label for a kind byte, for CLI summaries
@@ -53,6 +55,10 @@ func KindName(k byte) string {
 		return "subreq"
 	case KindSubtreeReply:
 		return "subreply"
+	case KindHello:
+		return "hello"
+	case KindWelcome:
+		return "welcome"
 	}
 	return "other"
 }
@@ -214,6 +220,60 @@ func (m SubtreeReply) Size() int {
 
 // Kind implements Msg.
 func (m SubtreeReply) Kind() byte { return KindSubtreeReply }
+
+// Hello announces a brand-new process to a member it has an address for —
+// the §5.2 join step lifted onto the canonical wire so it crosses real
+// transports. ID is the joiner's own identity (which need not match the
+// envelope sender when a member forwards the hello onward), Addr its dialable
+// address ("" on transports that route by ID alone). A member that learns a
+// new peer from a Hello forwards it to its own view and answers Welcome, so
+// one contact suffices to flood a join through the cluster.
+type Hello struct {
+	ID        NodeID
+	Addr      string
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m Hello) Size() int {
+	return scalarSize + uvarintLen(uint64(m.ID)) + uvarintLen(uint64(len(m.Addr))) + len(m.Addr)
+}
+
+// Kind implements Msg.
+func (m Hello) Kind() byte { return KindHello }
+
+// Peer pairs a member's identity with its dialable address, for Welcome
+// payloads.
+type Peer struct {
+	ID   NodeID
+	Addr string
+}
+
+// Welcome answers a Hello with the responder's current view (itself
+// included), each member with its last-known address. The joiner merges the
+// peers into its own view and bootstraps its completion table from the
+// responder via the Full-root subtree pull. Views gossiped this way may be
+// mutually inconsistent while a join floods; that is safe for the same reason
+// the paper's §5.2 protocol tolerates it — every view member is a valid
+// steal/report target, and missing members only thin the fanout temporarily.
+type Welcome struct {
+	Peers     []Peer
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m Welcome) Size() int {
+	sz := scalarSize + uvarintLen(uint64(len(m.Peers)))
+	for _, p := range m.Peers {
+		sz += uvarintLen(uint64(p.ID)) + uvarintLen(uint64(len(p.Addr))) + len(p.Addr)
+	}
+	return sz
+}
+
+// Kind implements Msg.
+func (m Welcome) Kind() byte { return KindWelcome }
 
 // scalarSize is the fixed part of every message: one kind byte plus the two
 // 8-byte piggybacked scalars.

@@ -204,6 +204,35 @@ func TestNetworkDelivery(t *testing.T) {
 	}
 }
 
+func TestRegisterMidRun(t *testing.T) {
+	// Elastic membership registers nodes from inside event callbacks, after
+	// the kernel has started firing: the handler table must grow on demand,
+	// and both directions of traffic with the late endpoint must work. A send
+	// to the identity before it registers is a normal drop, not an error.
+	k := New(1)
+	nw := NewNetwork(k, nil)
+	var got, back []int
+	nw.Register(0, func(from NodeID, m Message) { back = append(back, m.(payload).Size()) })
+	nw.Send(0, 7, payload(1)) // nobody there yet: vanishes like any loss
+	k.At(2, func() {
+		nw.Register(7, func(from NodeID, m Message) {
+			got = append(got, m.(payload).Size())
+			nw.Send(7, 0, payload(int(m.(payload).Size())+1))
+		})
+		nw.Send(0, 7, payload(5))
+	})
+	k.Run(math.Inf(1))
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("late node got = %v, want [5]", got)
+	}
+	if len(back) != 1 || back[0] != 6 {
+		t.Errorf("reply to node 0 = %v, want [6]", back)
+	}
+	if st := nw.Stats(); st.Delivered != 2 {
+		t.Errorf("Delivered = %d, want 2", st.Delivered)
+	}
+}
+
 func TestCrashStopsDelivery(t *testing.T) {
 	k := New(1)
 	nw := NewNetwork(k, nil)
