@@ -282,6 +282,35 @@ func TestStress100000Smoke(t *testing.T) {
 	}
 }
 
+// BenchmarkMultiInstance multiplexes four concurrent problem instances over
+// one simulated 8-process cluster — the instance-scoped protocol's hot path
+// (tagged wire codec, mux routing, per-instance termination, reaping cores
+// back to the pools) — and checks every instance against its own sequential
+// optimum.
+func BenchmarkMultiInstance(b *testing.B) {
+	insts := make([]SimInstance, 4)
+	for i := range insts {
+		r := rand.New(rand.NewSource(int64(21 + i*1_000_003)))
+		insts[i] = SimInstance{
+			Problem:   RandomKnapsack(r, 13),
+			Seed:      int64(22 + i),
+			StartTime: float64(i) * 5,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunInstances(SimConfig{Procs: 8, Seed: 21, Prune: true, Instances: insts})
+		if !res.Terminated {
+			b.Fatal("multi-instance run did not terminate")
+		}
+		for _, ir := range res.Instances {
+			if !ir.OptimumOK {
+				b.Fatalf("instance %d missed its sequential optimum", ir.ID)
+			}
+		}
+	}
+}
+
 // BenchmarkRealQAPSim solves a QAP instance from initial data through the
 // simulator under depth-first selection.
 func BenchmarkRealQAPSim(b *testing.B) {

@@ -12,6 +12,8 @@
 //	dbbsim -procs 4 -join 25:4                              # double mid-solve
 //	dbbsim -procs 3 -gantt                                  # ASCII Gantt
 //	dbbsim -procs 16 -membership                            # §5.2 protocol on
+//	dbbsim -procs 8 -instances 4 -prune                     # 4 concurrent
+//	                                                        #  problem instances
 package main
 
 import (
@@ -91,6 +93,42 @@ func (j *joinList) Set(s string) error {
 	return nil
 }
 
+// validateFlags rejects mutually inconsistent flag combinations up front,
+// with an error naming both sides — previously some combinations silently
+// ignored one flag (an explicit -shards with -membership or -gantt fell back
+// to the serial kernel without a word).
+func validateFlags(insts int, problem, treePath string, member, gantt bool, shards int, joins joinList) error {
+	if insts < 0 {
+		return fmt.Errorf("-instances must be >= 0, got %d", insts)
+	}
+	if problem != "" && treePath != "" {
+		return fmt.Errorf("-problem and -tree are mutually exclusive")
+	}
+	if insts > 0 {
+		switch {
+		case problem != "":
+			return fmt.Errorf("-instances and -problem are mutually exclusive: -instances generates its own problems")
+		case treePath != "":
+			return fmt.Errorf("-instances and -tree are mutually exclusive: multi-instance runs are code-driven")
+		case member:
+			return fmt.Errorf("-instances does not support -membership: multi-instance runs use the predetermined pool")
+		case gantt:
+			return fmt.Errorf("-instances does not support -gantt")
+		case len(joins) > 0:
+			return fmt.Errorf("-instances does not support -join")
+		}
+	}
+	if shards >= 0 { // an explicit request for the sharded kernel
+		if member {
+			return fmt.Errorf("-shards and -membership are mutually exclusive: membership state cannot be partitioned (drop -shards for the serial kernel)")
+		}
+		if gantt {
+			return fmt.Errorf("-shards and -gantt are mutually exclusive: tracing runs on the serial kernel (drop -shards)")
+		}
+	}
+	return nil
+}
+
 func main() { os.Exit(run()) }
 
 // run is main's body behind an exit code, so the profile-finalizing defers
@@ -121,10 +159,17 @@ func run() int {
 		diffG    = flag.Bool("diffgossip", false, "anti-entropy diff gossip: digests + subtree pulls instead of full frontiers")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
+		insts    = flag.Int("instances", 0, "multi-instance mode: solve this many concurrent knapsack instances over one cluster")
+		instSize = flag.Int("instsize", 13, "multi-instance mode: knapsack items per instance")
+		stagger  = flag.Float64("stagger", 5, "multi-instance mode: seconds between instance submissions")
 	)
 	flag.Var(&crashes, "crash", "crash a process: TIME:NODE, or TIME:NODE:RESTART to reboot it (repeatable)")
 	flag.Var(&joins, "join", "add COUNT brand-new processes at TIME: TIME:COUNT (repeatable)")
 	flag.Parse()
+
+	if err := validateFlags(*insts, *problem, *treePath, *member, *gantt, *shards, joins); err != nil {
+		log.Fatal(err)
+	}
 
 	// Profiling hooks, so hot-path work on the simulator starts from a
 	// profile of a real scenario instead of a guess. Profiles are finalized
@@ -201,12 +246,13 @@ func run() int {
 		Trace:         lg,
 	}
 
+	if *insts > 0 {
+		return runMulti(cfg, *insts, *instSize, *stagger, *seed)
+	}
+
 	var res dbnb.Result
 	wall := time.Now()
 	if *problem != "" {
-		if *treePath != "" {
-			log.Fatal("-problem and -tree are mutually exclusive")
-		}
 		p, err := bnb.ParseSpec(*problem)
 		if err != nil {
 			log.Fatal(err)
@@ -285,6 +331,61 @@ func run() int {
 		fmt.Println()
 		lg.Gantt(os.Stdout, 100)
 	}
+	if !res.Terminated {
+		return 1
+	}
+	return 0
+}
+
+// runMulti is the -instances mode: k staggered random knapsacks multiplexed
+// over one simulated cluster, each instance's optimum cross-checked against
+// its own sequential solve, with a per-instance work/overhead table.
+func runMulti(cfg dbnb.Config, k, size int, stagger float64, seed int64) int {
+	specs := make([]dbnb.Instance, k)
+	for i := range specs {
+		r := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
+		specs[i] = dbnb.Instance{
+			Problem:   bnb.RandomKnapsack(r, size),
+			Seed:      seed + int64(i+1),
+			StartTime: float64(i) * stagger,
+		}
+	}
+	cfg.Instances = specs
+	fmt.Printf("instances: %d concurrent knapsack:%d, submissions staggered %gs apart\n", k, size, stagger)
+
+	wall := time.Now()
+	res := dbnb.RunInstances(cfg)
+	elapsed := time.Since(wall)
+
+	fmt.Printf("terminated=%v  time=%.2fs (last instance)\n", res.Terminated, res.Time)
+	kernel := "serial kernel"
+	if res.Shards > 0 {
+		kernel = fmt.Sprintf("%d shards", res.Shards)
+	}
+	fmt.Printf("engine: %s, %d events in %.2fs wall (%.3g events/sec)\n",
+		kernel, res.Events, elapsed.Seconds(), float64(res.Events)/elapsed.Seconds())
+
+	fmt.Printf("%-5s %-6s %-8s %-12s %-8s %-9s %-8s %-9s %-10s %-10s\n",
+		"inst", "start", "done", "optimum", "correct", "expanded", "unique", "redundant", "work", "overhead")
+	for _, ir := range res.Instances {
+		done := fmt.Sprintf("%.2f", ir.Time)
+		if !ir.Terminated {
+			done = "never"
+		}
+		fmt.Printf("%-5d %-6g %-8s %-12.6g %-8v %-9d %-8d %-9d %-10s %-10s\n",
+			ir.ID, ir.Start, done, ir.Optimum, ir.OptimumOK,
+			ir.Expanded, ir.Unique, ir.Redundant,
+			fmt.Sprintf("%.2fs", ir.Work), fmt.Sprintf("%.2fs", ir.Overhead))
+	}
+
+	agg := res.Met.AggregateBreakdown()
+	parts := make([]string, 0, 5)
+	for _, a := range []metrics.Activity{metrics.BB, metrics.Comm, metrics.Contract, metrics.LB, metrics.Idle} {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", a, agg.Percent(a)))
+	}
+	fmt.Println("time split:", strings.Join(parts, ", "))
+	fmt.Printf("network: %d msgs, %.3f MB, %d lost, %d cut, %d to dead\n",
+		res.Net.Sent, metrics.MB(res.Net.Bytes), res.Net.Lost, res.Net.Cut, res.Net.ToDead)
 	if !res.Terminated {
 		return 1
 	}

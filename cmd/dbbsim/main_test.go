@@ -43,3 +43,39 @@ func TestJoinListParsing(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateFlagInstanceCombos(t *testing.T) {
+	ok := func(err error) bool { return err == nil }
+	cases := []struct {
+		name    string
+		insts   int
+		problem string
+		tree    string
+		member  bool
+		gantt   bool
+		shards  int
+		joins   joinList
+		want    bool // valid?
+	}{
+		{name: "defaults", shards: -1, want: true},
+		{name: "instances alone", insts: 4, shards: -1, want: true},
+		{name: "instances sharded", insts: 4, shards: 4, want: true},
+		{name: "negative instances", insts: -1, shards: -1, want: false},
+		{name: "instances+problem", insts: 2, problem: "knapsack:12:1", shards: -1, want: false},
+		{name: "instances+tree", insts: 2, tree: "t.gbbt", shards: -1, want: false},
+		{name: "instances+membership", insts: 2, member: true, shards: -1, want: false},
+		{name: "instances+gantt", insts: 2, gantt: true, shards: -1, want: false},
+		{name: "instances+join", insts: 2, joins: joinList{{Time: 5, Count: 2}}, shards: -1, want: false},
+		{name: "problem+tree", problem: "qap:6:1", tree: "t.gbbt", shards: -1, want: false},
+		{name: "shards+membership", member: true, shards: 4, want: false},
+		{name: "shards+gantt", gantt: true, shards: 0, want: false},
+		{name: "membership serial", member: true, shards: -1, want: true},
+		{name: "join without membership", joins: joinList{{Time: 5, Count: 2}}, shards: -1, want: true},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.insts, c.problem, c.tree, c.member, c.gantt, c.shards, c.joins)
+		if ok(err) != c.want {
+			t.Errorf("%s: err = %v, want valid=%v", c.name, err, c.want)
+		}
+	}
+}

@@ -114,6 +114,21 @@ func EncodeMsg(dst []byte, m Msg) ([]byte, error) { return protocol.Encode(dst, 
 // the message and the number of bytes consumed.
 func DecodeMsg(buf []byte) (Msg, int, error) { return protocol.Decode(buf) }
 
+// InstanceID scopes a wire message to one problem instance when several are
+// multiplexed over a cluster; 0 is the legacy single instance, whose
+// encoding is bit-identical to the pre-instance wire format.
+type InstanceID = protocol.InstanceID
+
+// InstMsg tags a canonical message with its instance for the wire.
+type InstMsg = protocol.InstMsg
+
+// DecodeInstanceMsg reads one canonical message that may carry an instance
+// tag, returning the instance (0 = legacy), the message, and the bytes
+// consumed.
+func DecodeInstanceMsg(buf []byte) (InstanceID, Msg, int, error) {
+	return protocol.DecodeInstance(buf)
+}
+
 // --- sequential engine (§2) ------------------------------------------------------
 
 // Subproblem is a node of a binary branch-and-bound search (minimization).
@@ -260,6 +275,23 @@ func RunProblemRef(p Problem, ref SolveResult, cfg SimConfig) SimResult {
 	return dbnb.RunProblemRef(p, ref, cfg)
 }
 
+// SimInstance describes one problem of a multi-instance simulated run:
+// the code-driven problem, its protocol randomness seed, and its virtual
+// submission time (SimConfig.Instances).
+type SimInstance = dbnb.Instance
+
+// MultiResult summarizes a multi-instance simulated run.
+type MultiResult = dbnb.MultiResult
+
+// InstanceResult is one instance's slice of a MultiResult.
+type InstanceResult = dbnb.InstanceResult
+
+// RunInstances solves every SimConfig.Instances problem concurrently over
+// one simulated cluster, each scoped to its own wire InstanceID and
+// cross-checked against its own sequential solve. Deterministic in
+// (cfg, seed), invariant in the shard count.
+func RunInstances(cfg SimConfig) MultiResult { return dbnb.RunInstances(cfg) }
+
 // PaperLatency is the paper's communication model: 1.5 + 0.005·L ms.
 func PaperLatency() sim.LatencyModel { return sim.PaperLatency() }
 
@@ -335,3 +367,8 @@ func NewLiveProblemCluster(p Problem, cfg LiveConfig) *LiveCluster {
 func NewLiveProblemClusterRef(p Problem, ref SolveResult, cfg LiveConfig) *LiveCluster {
 	return live.NewProblemClusterRef(p, ref, cfg)
 }
+
+// InstanceHandle tracks one problem instance submitted mid-run to a live
+// cluster with LiveCluster.Submit: Done closes at cluster-wide resolution,
+// Result cross-checks the optimum, Expanded reports live progress.
+type InstanceHandle = live.Handle

@@ -14,6 +14,7 @@
 package dbnb
 
 import (
+	"gossipbnb/internal/bnb"
 	"gossipbnb/internal/protocol"
 	"gossipbnb/internal/sim"
 	"gossipbnb/internal/trace"
@@ -40,6 +41,23 @@ type Crash struct {
 	Node int
 	// Restart, if > Time, is the virtual time the process comes back.
 	Restart float64
+	// Instance scopes the failure in multi-instance runs (RunInstances):
+	// 0 fails the whole process — every instance it hosts plus its network
+	// endpoint — while k > 0 fails only instance k's execution context
+	// (1-based, in Instances order), leaving the process's other instances
+	// running. Single-instance runs (Run/RunProblem) ignore it.
+	Instance int
+}
+
+// Instance describes one problem of a multi-instance run (RunInstances): the
+// code-driven problem to solve, the seed its per-process protocol randomness
+// derives from, and the virtual time the instance is submitted to the
+// cluster. Instances are identified on the wire by their 1-based position in
+// Config.Instances.
+type Instance struct {
+	Problem   bnb.Problem
+	Seed      int64
+	StartTime float64
 }
 
 // Join schedules Count brand-new processes to enter the computation at
@@ -206,6 +224,11 @@ type Config struct {
 	Crashes    []Crash
 	Partitions []Partition
 	Joins      []Join
+
+	// Instances is the multi-instance workload of RunInstances: every listed
+	// problem is solved concurrently over the same process pool, each scoped
+	// to its own wire InstanceID. Run/RunProblem ignore it.
+	Instances []Instance
 
 	// MaxTime aborts a run that fails to terminate (0 = 1e9 seconds).
 	MaxTime float64

@@ -1,0 +1,168 @@
+// Package instance multiplexes many concurrent problem instances over one
+// process. The paper's mechanism is per-problem by construction — completion
+// tree, termination detector, and load balancer all scope to one root — so a
+// Mux is a namespacing layer, not a new protocol: it owns one protocol.Core
+// per open instance, routes inbound messages by InstanceID, schedules the
+// shared processor fairly across instances, tracks each instance's
+// termination independently, and reaps finished instances, returning their
+// completion-table arenas to the shared pool for the next instance to reuse.
+package instance
+
+import "gossipbnb/internal/protocol"
+
+// ID aliases the wire-level instance identifier. Instance 0 is the legacy
+// single instance of a pre-multiplexing cluster.
+type ID = protocol.InstanceID
+
+// Entry is one open instance hosted by a Mux.
+type Entry struct {
+	ID   ID
+	Core *protocol.Core
+	Exp  protocol.Expander
+	// Data is driver-owned per-instance state (timers, pacing, metrics) the
+	// mux itself never touches.
+	Data any
+}
+
+// Verdict classifies where Route landed an inbound message.
+type Verdict int
+
+const (
+	// RouteOpen: the entry is open; feed the message to its core.
+	RouteOpen Verdict = iota
+	// RouteReaped: the instance finished here and was reaped. The driver
+	// should answer work requests from the tombstone (a root report carrying
+	// the final incumbent terminates the requester's instance too) and drop
+	// everything else.
+	RouteReaped
+	// RouteUnknown: never heard of the instance. The driver may open it from
+	// a registry — traffic for a submitted instance can outrun the
+	// registry's own propagation — or drop the message.
+	RouteUnknown
+)
+
+// Mux routes a process's traffic and processor time across its open
+// instances. It is driver-serialized like the cores it owns: one goroutine
+// (or one simulated process) at a time.
+type Mux struct {
+	open   map[ID]*Entry
+	order  []ID // insertion order: deterministic iteration and round-robin
+	cursor int
+	tombs  map[ID]float64 // final incumbents of reaped instances
+}
+
+// NewMux returns an empty mux.
+func NewMux() *Mux {
+	return &Mux{open: make(map[ID]*Entry), tombs: make(map[ID]float64)}
+}
+
+// Open registers a new instance. It returns false if the ID is already open
+// or was already reaped (a late re-open after termination must not resurrect
+// a finished instance).
+func (m *Mux) Open(id ID, core *protocol.Core, exp protocol.Expander) (*Entry, bool) {
+	if _, dup := m.open[id]; dup {
+		return nil, false
+	}
+	if _, dead := m.tombs[id]; dead {
+		return nil, false
+	}
+	e := &Entry{ID: id, Core: core, Exp: exp}
+	m.open[id] = e
+	m.order = append(m.order, id)
+	return e, true
+}
+
+// Get returns the open entry for id, if any.
+func (m *Mux) Get(id ID) (*Entry, bool) {
+	e, ok := m.open[id]
+	return e, ok
+}
+
+// Len reports the number of open instances.
+func (m *Mux) Len() int { return len(m.open) }
+
+// Each calls f for every open entry in insertion order.
+func (m *Mux) Each(f func(*Entry)) {
+	for _, id := range m.order {
+		if e, ok := m.open[id]; ok {
+			f(e)
+		}
+	}
+}
+
+// Route demultiplexes an inbound message's instance ID.
+func (m *Mux) Route(id ID) (*Entry, Verdict) {
+	if e, ok := m.open[id]; ok {
+		return e, RouteOpen
+	}
+	if _, ok := m.tombs[id]; ok {
+		return nil, RouteReaped
+	}
+	return nil, RouteUnknown
+}
+
+// Next runs the shared-processor scheduling decision round-robin from the
+// cursor: the first core with real work (Expand) — or one that just detected
+// termination — wins the processor, and the cursor advances past it so a
+// long-running instance cannot starve its neighbors. If every runnable
+// instance is starving, one of them (rotating likewise) is returned with
+// Starved so the driver runs its load-balancing step. Idle with a nil entry
+// means every open instance has terminated.
+func (m *Mux) Next() (*Entry, protocol.Item, protocol.Status) {
+	n := len(m.order)
+	var starved *Entry
+	starvedPos := 0
+	if n > 0 {
+		m.cursor %= n
+	}
+	for i := 0; i < n; i++ {
+		pos := (m.cursor + i) % n
+		e, ok := m.open[m.order[pos]]
+		if !ok {
+			continue
+		}
+		it, st := e.Core.Next()
+		switch st {
+		case protocol.Expand, protocol.Terminated:
+			m.cursor = (pos + 1) % n
+			return e, it, st
+		case protocol.Starved:
+			if starved == nil {
+				starved, starvedPos = e, pos
+			}
+		}
+	}
+	if starved != nil {
+		m.cursor = (starvedPos + 1) % n
+		return starved, protocol.Item{}, protocol.Starved
+	}
+	return nil, protocol.Item{}, protocol.Idle
+}
+
+// Reap closes a finished instance: the entry leaves the routing table, its
+// final incumbent is remembered so straggler work requests can still be
+// answered with a termination report, and the core's completion tables —
+// arena vertices included — go back to the shared pool. Returns the closed
+// entry, or nil if id was not open.
+func (m *Mux) Reap(id ID) *Entry {
+	e, ok := m.open[id]
+	if !ok {
+		return nil
+	}
+	delete(m.open, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.tombs[id] = e.Core.Incumbent()
+	e.Core.Release()
+	return e
+}
+
+// Reaped returns the final incumbent of a reaped instance.
+func (m *Mux) Reaped(id ID) (float64, bool) {
+	v, ok := m.tombs[id]
+	return v, ok
+}

@@ -1,0 +1,165 @@
+package instance
+
+import (
+	"testing"
+
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/protocol"
+)
+
+// binTree is a complete binary tree of the given depth: level d branches on
+// variable d+1, leaf value 100 minus the number of 1-branches on the path.
+type binTree struct{ depth int }
+
+func (f binTree) ones(c code.Code) int {
+	n := 0
+	for _, d := range c {
+		n += int(d.Branch)
+	}
+	return n
+}
+
+func (f binTree) bound(c code.Code) float64 {
+	return float64(100 - f.ones(c) - (f.depth - len(c)))
+}
+
+func (f binTree) Locate(c code.Code) (protocol.Item, bool) {
+	if len(c) > f.depth {
+		return protocol.Item{}, false
+	}
+	return protocol.Item{Code: c, Bound: f.bound(c)}, true
+}
+
+func (f binTree) Root() protocol.Item {
+	it, _ := f.Locate(code.Root())
+	return it
+}
+
+func (f binTree) Outcome(it protocol.Item) protocol.Outcome {
+	if len(it.Code) == f.depth {
+		return protocol.Outcome{Feasible: true, Value: float64(100 - f.ones(it.Code))}
+	}
+	v := uint32(len(it.Code) + 1)
+	var ch []protocol.Item
+	for b := uint8(0); b < 2; b++ {
+		cc := it.Code.Child(v, b)
+		ch = append(ch, protocol.Item{Code: cc, Bound: f.bound(cc)})
+	}
+	return protocol.Outcome{Children: ch}
+}
+
+type muxClock struct{ t float64 }
+
+func (c *muxClock) Now() float64 { return c.t }
+
+type nullSender struct{}
+
+func (nullSender) Send(protocol.NodeID, protocol.Msg) {}
+
+// openSolo opens an instance backed by a lone core holding its whole tree.
+func openSolo(t *testing.T, m *Mux, clk *muxClock, id ID, depth int) *Entry {
+	t.Helper()
+	tree := binTree{depth: depth}
+	core := protocol.New(0, protocol.Config{}, protocol.Deps{
+		Clock:    clk,
+		Sender:   nullSender{},
+		Expander: tree,
+		Peers:    func() []protocol.NodeID { return nil },
+		Rand:     func(n int) int { return 0 },
+	})
+	core.Seed(tree.Root())
+	e, ok := m.Open(id, core, tree)
+	if !ok {
+		t.Fatalf("Open(%d) refused", id)
+	}
+	return e
+}
+
+func TestMuxRoundRobinSolvesAll(t *testing.T) {
+	var clk muxClock
+	m := NewMux()
+	openSolo(t, m, &clk, 1, 4)
+	openSolo(t, m, &clk, 2, 5)
+	openSolo(t, m, &clk, 3, 3)
+
+	// Track who got the processor: fair scheduling must interleave, not let
+	// instance 1 run to completion before 2 starts.
+	var schedule []ID
+	done := map[ID]float64{}
+	for steps := 0; steps < 1<<14; steps++ {
+		e, it, st := m.Next()
+		switch st {
+		case protocol.Expand:
+			schedule = append(schedule, e.ID)
+			clk.t += 0.01
+			e.Core.OnExpanded(it, e.Exp.(binTree).Outcome(it), 0.01)
+		case protocol.Terminated:
+			done[e.ID] = e.Core.Incumbent()
+			m.Reap(e.ID)
+		case protocol.Idle:
+			steps = 1 << 14
+		case protocol.Starved:
+			t.Fatal("solo instance starved")
+		}
+	}
+	if len(done) != 3 {
+		t.Fatalf("terminated %d of 3 instances", len(done))
+	}
+	for id, depth := range map[ID]int{1: 4, 2: 5, 3: 3} {
+		if want := float64(100 - depth); done[id] != want {
+			t.Errorf("instance %d optimum = %g, want %g", id, done[id], want)
+		}
+	}
+	// Fairness: within the first 6 expansions every instance must have run.
+	seen := map[ID]bool{}
+	for _, id := range schedule[:6] {
+		seen[id] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("first 6 expansions touched only %d instances: %v", len(seen), schedule[:6])
+	}
+}
+
+func TestMuxRouteVerdicts(t *testing.T) {
+	var clk muxClock
+	m := NewMux()
+	e := openSolo(t, m, &clk, 7, 2)
+	if got, v := m.Route(7); got != e || v != RouteOpen {
+		t.Fatalf("Route(open) = %v, %v", got, v)
+	}
+	if _, v := m.Route(9); v != RouteUnknown {
+		t.Fatalf("Route(unknown) = %v", v)
+	}
+
+	// Solve and reap: the tombstone must remember the final incumbent and
+	// refuse a re-open.
+	for {
+		it, st := e.Core.Next()
+		if st == protocol.Terminated {
+			break
+		}
+		if st != protocol.Expand {
+			t.Fatalf("unexpected status %v", st)
+		}
+		e.Core.OnExpanded(it, e.Exp.(binTree).Outcome(it), 0.01)
+	}
+	if m.Reap(7) == nil {
+		t.Fatal("Reap returned nil for an open instance")
+	}
+	if _, v := m.Route(7); v != RouteReaped {
+		t.Fatalf("Route(reaped) = %v", v)
+	}
+	if inc, ok := m.Reaped(7); !ok || inc != 98 {
+		t.Fatalf("Reaped(7) = %g, %v; want 98", inc, ok)
+	}
+	if _, ok := m.Open(7, e.Core, e.Exp); ok {
+		t.Fatal("Open resurrected a reaped instance")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after reap", m.Len())
+	}
+	// Next on an empty mux is Idle, not a panic.
+	if _, _, st := m.Next(); st != protocol.Idle {
+		t.Fatalf("Next on empty mux = %v", st)
+	}
+}

@@ -9,6 +9,8 @@ import (
 
 	"gossipbnb/internal/bnb"
 	"gossipbnb/internal/btree"
+	"gossipbnb/internal/code"
+	"gossipbnb/internal/instance"
 	"gossipbnb/internal/protocol"
 )
 
@@ -46,6 +48,11 @@ type Config struct {
 	DiffGossip bool
 	// Timeout bounds Run's wall-clock time.
 	Timeout time.Duration
+	// Linger keeps a fully terminated cluster running this much longer
+	// before Run returns, leaving a window for late Submits — without it
+	// the run closes within one completion-check tick of the last instance
+	// resolving. A submission during the window resets it.
+	Linger time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -120,13 +127,22 @@ type liveNode struct {
 }
 
 // incarnation is one boot of a liveNode: everything a crash wipes. The §5
-// process model runs here, against this incarnation's own core and inbox.
+// process model runs here, against this incarnation's own cores and inbox.
+// The mux multiplexes the boot problem (instance 0, the legacy untagged
+// wire) and every instance submitted mid-run over the one goroutine, one
+// inbox, and one transport endpoint the process owns.
 type incarnation struct {
 	n     *liveNode
 	gen   int64
 	inbox <-chan Envelope
-	core  *protocol.Core
-	exp   protocol.Expander // this incarnation's own code resolver
+	mux   *instance.Mux
+	core  *protocol.Core    // the boot instance's core (mux instance 0)
+	exp   protocol.Expander // the boot instance's own code resolver
+
+	// instEpoch is the submission-registry generation this incarnation last
+	// synchronized with; it trails Cluster.instEpoch until the next
+	// syncInstances poll.
+	instEpoch int64
 
 	lastProbe time.Time // paces starvation probes RetryDelay apart
 
@@ -169,6 +185,13 @@ type Cluster struct {
 	stopped bool
 	rngMu   sync.Mutex
 	rngSeed int64
+
+	// Submitted-instance registry: specs grows append-only under instMu, and
+	// instEpoch bumps on every change so node loops can poll for news with one
+	// atomic load instead of a lock acquisition per turn.
+	instMu    sync.Mutex
+	specs     []*instSpec
+	instEpoch atomic.Int64
 }
 
 // liveClock is the cluster's shared protocol clock: wall-clock seconds
@@ -178,11 +201,19 @@ type liveClock struct{ start time.Time }
 
 func (c liveClock) Now() float64 { return time.Since(c.start).Seconds() }
 
-// liveSender transmits a core's canonical messages over the cluster
-// transport.
-type liveSender struct{ n *liveNode }
+// instSender transmits one instance's canonical messages over the cluster
+// transport, tagging them with the instance ID. Instance 0 — the boot
+// problem — stays untagged, so a never-multiplexed cluster speaks the exact
+// legacy wire format.
+type instSender struct {
+	n  *liveNode
+	id protocol.InstanceID
+}
 
-func (s liveSender) Send(to protocol.NodeID, m protocol.Msg) {
+func (s instSender) Send(to protocol.NodeID, m protocol.Msg) {
+	if s.id != 0 {
+		m = protocol.InstMsg{Instance: s.id, Msg: m}
+	}
 	s.n.cl.tr.Send(s.n.id, NodeID(to), m)
 }
 
@@ -255,13 +286,22 @@ func newCluster(cfg Config, newExp func() protocol.Expander, sleepOf func(it pro
 	return cl
 }
 
-// newIncarnation builds one boot of a node: a fresh core over a fresh
-// expander, fed from the given inbox — all the state the paper lets a
-// process lose.
+// newIncarnation builds one boot of a node: a fresh mux whose instance 0 is
+// the boot problem's core over a fresh expander, fed from the given inbox —
+// all the state the paper lets a process lose. Submitted instances are
+// (re)opened lazily by syncInstances at the first loop turn.
 func (cl *Cluster) newIncarnation(n *liveNode, gen int64, inbox <-chan Envelope) *incarnation {
+	inc := &incarnation{n: n, gen: gen, inbox: inbox, exp: cl.newExp(), mux: instance.NewMux()}
+	inc.core = cl.newCore(n, inc.exp, 0)
+	inc.mux.Open(0, inc.core, inc.exp)
+	return inc
+}
+
+// newCore builds one instance's protocol core for a node, its sends tagged
+// with the instance ID.
+func (cl *Cluster) newCore(n *liveNode, exp protocol.Expander, id protocol.InstanceID) *protocol.Core {
 	cfg := &cl.cfg
-	inc := &incarnation{n: n, gen: gen, inbox: inbox, exp: cl.newExp()}
-	inc.core = protocol.New(protocol.NodeID(n.id), protocol.Config{
+	return protocol.New(protocol.NodeID(n.id), protocol.Config{
 		Select:           cfg.Select,
 		Prune:            cfg.Prune,
 		ReportBatch:      cfg.ReportBatch,
@@ -273,13 +313,12 @@ func (cl *Cluster) newIncarnation(n *liveNode, gen int64, inbox <-chan Envelope)
 		DiffGossip:       cfg.DiffGossip,
 	}, protocol.Deps{
 		Clock:     cl.clock,
-		Sender:    liveSender{n},
-		Expander:  inc.exp,
+		Sender:    instSender{n, id},
+		Expander:  exp,
 		Peers:     n.peers,
 		Rand:      cl.rand,
 		RandFloat: cl.randFloat,
 	})
-	return inc
 }
 
 // Crash halts a node mid-run. It serializes with Restart under stopMu so a
@@ -381,14 +420,22 @@ func (cl *Cluster) AddNode(contacts ...NodeID) (NodeID, error) {
 	return id, nil
 }
 
-// allDone reports whether every non-crashed node detected termination.
+// allDone reports whether every non-crashed node detected termination of the
+// boot problem and every submitted instance resolved.
 func (cl *Cluster) allDone() bool {
 	for _, n := range cl.nodes {
 		if !n.crashed.Load() && !n.done.Load() {
 			return false
 		}
 	}
-	return true
+	return cl.specsResolved()
+}
+
+// checkDone samples completion without closing anything.
+func (cl *Cluster) checkDone() bool {
+	cl.stopMu.Lock()
+	defer cl.stopMu.Unlock()
+	return cl.allDone()
 }
 
 // tryStop closes the run iff it is complete, deciding under stopMu so no
@@ -450,14 +497,25 @@ func (cl *Cluster) Run() Result {
 	tick := time.NewTicker(2 * time.Millisecond)
 	defer tick.Stop()
 	timedOut := false
+	var idleSince time.Time
 loop:
 	for {
 		// Crashed nodes never signal, so completion is "every non-crashed
-		// node detected termination", re-checked on every tick — under
-		// stopMu, so a Restart racing the check either revives its node
-		// before the verdict (the loop keeps waiting for it) or is refused.
-		if cl.tryStop() {
-			break
+		// node detected termination (and every submitted instance resolved)",
+		// re-checked on every tick — under stopMu, so a Restart racing the
+		// check either revives its node before the verdict (the loop keeps
+		// waiting for it) or is refused. A Linger window holds a finished
+		// cluster open for late submissions, which reset the window.
+		cl.resolveInstances()
+		if cl.checkDone() {
+			if idleSince.IsZero() {
+				idleSince = time.Now()
+			}
+			if time.Since(idleSince) >= cl.cfg.Linger && cl.tryStop() {
+				break
+			}
+		} else {
+			idleSince = time.Time{}
 		}
 		select {
 		case <-cl.doneCh:
@@ -529,8 +587,9 @@ func (n *liveNode) learnPeer(id protocol.NodeID) bool {
 }
 
 // run is the incarnation goroutine: alternate work and message handling,
-// exactly the process model of §5. It exits when the cluster stops, the node
-// crashes, or a restart orphans this incarnation (the generation moved on).
+// exactly the process model of §5, round-robin across every instance the
+// process hosts. It exits when the cluster stops, the node crashes, or a
+// restart orphans this incarnation (the generation moved on).
 func (inc *incarnation) run() {
 	n := inc.n
 	defer n.cl.wg.Done()
@@ -541,25 +600,15 @@ func (inc *incarnation) run() {
 		default:
 		}
 		if n.gen.Load() != inc.gen {
-			// A restart replaced this incarnation; its core is an orphan.
+			// A restart replaced this incarnation; its cores are orphans.
 			return
 		}
 		if n.crashed.Load() {
 			// A crashed process halts; drain nothing, say nothing.
 			return
 		}
-		if n.done.Load() {
-			// Terminated: keep handling messages — the core answers work
-			// requests with the root report so stragglers terminate too.
-			select {
-			case env := <-inc.inbox:
-				inc.handle(env)
-			case <-n.cl.stopAll:
-				return
-			}
-			continue
-		}
 		inc.maybeAnnounce()
+		inc.syncInstances()
 		// Handle all pending messages.
 		drained := false
 		for !drained {
@@ -570,35 +619,90 @@ func (inc *incarnation) run() {
 				drained = true
 			}
 		}
-		it, st := inc.core.Next()
+		e, it, st := inc.mux.Next()
 		switch st {
 		case protocol.Expand:
-			inc.expand(it)
+			inc.expand(e, it)
 		case protocol.Terminated:
-			n.terminate()
+			inc.noteTerminated(e)
 		case protocol.Starved:
-			inc.starve()
+			inc.starve(e)
+		case protocol.Idle:
+			// Every hosted instance terminated and was reaped. Keep answering
+			// stragglers from the tombstones, and wake on the RetryDelay
+			// cadence to poll the registry for newly submitted instances.
+			select {
+			case env := <-inc.inbox:
+				inc.handle(env)
+			case <-time.After(n.cl.cfg.RetryDelay):
+			case <-n.cl.stopAll:
+				return
+			}
 		}
 	}
 }
 
-// handle feeds one delivered message to the core. The membership handshake
+// handle demultiplexes one delivered message to its instance's core and
+// reports which instance it addressed. The membership handshake
 // (Hello/Welcome) is driver business — views live in the driver, exactly as
-// in the simulator — so those two kinds are intercepted before the core.
-func (inc *incarnation) handle(env Envelope) protocol.Effect {
+// in the simulator — so those two kinds are intercepted before any core.
+// Untagged messages are the boot problem's (instance 0); tagged ones route
+// through the mux, with reaped instances answered from their tombstone and
+// unknown ones triggering a registry poll — a submitted instance's traffic
+// can outrun the submission epoch's propagation to this node.
+func (inc *incarnation) handle(env Envelope) (protocol.InstanceID, protocol.Effect) {
 	switch m := env.Msg.(type) {
 	case protocol.Hello:
 		inc.onHello(env.From, m)
-		return protocol.Effect{}
+		return 0, protocol.Effect{}
 	case protocol.Welcome:
 		inc.onWelcome(env.From, m)
-		return protocol.Effect{}
+		return 0, protocol.Effect{}
 	}
 	pm, ok := env.Msg.(protocol.Msg)
 	if !ok {
-		return protocol.Effect{}
+		return 0, protocol.Effect{}
 	}
-	return inc.core.HandleMessage(protocol.NodeID(env.From), pm)
+	var id protocol.InstanceID
+	if im, ok := pm.(protocol.InstMsg); ok {
+		id, pm = im.Instance, im.Msg
+	}
+	e, v := inc.mux.Route(id)
+	if v == instance.RouteUnknown {
+		inc.syncInstances()
+		e, v = inc.mux.Route(id)
+	}
+	switch v {
+	case instance.RouteOpen:
+		return id, e.Core.HandleMessage(protocol.NodeID(env.From), pm)
+	case instance.RouteReaped:
+		// The instance finished here. A straggler's work request is answered
+		// with the §5.4 root report carrying the final incumbent — the same
+		// answer a terminated core gives — so the requester terminates too;
+		// everything else about a finished instance is droppable.
+		if _, isReq := pm.(protocol.WorkRequest); isReq {
+			if tomb, ok := inc.mux.Reaped(id); ok {
+				instSender{inc.n, id}.Send(protocol.NodeID(env.From),
+					protocol.Report{Codes: []code.Code{code.Root()}, Incumbent: tomb})
+			}
+		}
+	}
+	return id, protocol.Effect{}
+}
+
+// noteTerminated finishes one instance on this node: the boot problem flips
+// the node's done flag (the cluster-level termination signal), a submitted
+// instance records its completion in the registry. Either way the instance
+// is reaped — its completion tables go back to the shared pool, and its
+// tombstone keeps answering straggler work requests.
+func (inc *incarnation) noteTerminated(e *instance.Entry) {
+	n := inc.n
+	if e.ID == 0 {
+		n.terminate()
+	} else {
+		n.cl.noteInstanceDone(e.ID, n.id, e.Core.Incumbent())
+	}
+	inc.mux.Reap(e.ID)
 }
 
 // onHello absorbs a join announcement (§5.2 over the canonical wire): learn
@@ -679,34 +783,41 @@ func (inc *incarnation) maybeAnnounce() {
 	}
 }
 
-// expand performs one unit of work: tree replays sleep the scaled recorded
-// cost and then translate the recorded outcome; code-driven problems spend
-// their time inside Outcome itself, re-deriving bounds from the initial
-// data. Either way the elapsed seconds feed the core's adaptive pacing.
-func (inc *incarnation) expand(it protocol.Item) {
+// expand performs one unit of work for one instance: tree replays (only ever
+// the boot instance) sleep the scaled recorded cost and then translate the
+// recorded outcome; code-driven problems spend their time inside Outcome
+// itself, re-deriving bounds from the initial data. Either way the elapsed
+// seconds feed the instance core's adaptive pacing.
+func (inc *incarnation) expand(e *instance.Entry, it protocol.Item) {
 	sleep := 0.0
-	if inc.n.cl.sleepOf != nil {
+	if e.ID == 0 && inc.n.cl.sleepOf != nil {
 		sleep = inc.n.cl.sleepOf(it)
 		time.Sleep(time.Duration(sleep * float64(time.Second)))
 	}
 	start := time.Now()
-	out := inc.exp.Outcome(it)
+	out := e.Exp.Outcome(it)
 	if inc.n.crashed.Load() || inc.n.gen.Load() != inc.gen {
 		return // the work died with this incarnation
 	}
-	inc.core.OnExpanded(it, out, sleep+time.Since(start).Seconds())
+	e.Core.OnExpanded(it, out, sleep+time.Since(start).Seconds())
 	inc.n.expanded.Add(1)
+	if sp, ok := e.Data.(*instSpec); ok {
+		sp.expanded.Add(1)
+	}
 }
 
-// starve runs the core's out-of-work decision, then supplies the substrate
-// side: a bounded wait standing in for the simulator's request timer, or
-// the complement recovery the core planned.
-func (inc *incarnation) starve() {
+// starve runs one starving instance's out-of-work decision, then supplies
+// the substrate side: a bounded wait standing in for the simulator's request
+// timer, or the complement recovery the core planned. The mux only reaches
+// here when no hosted instance can expand, so the bounded blocking never
+// withholds the processor from runnable work.
+func (inc *incarnation) starve(e *instance.Entry) {
 	n := inc.n
 	// Pace probes RetryDelay apart no matter how full the inbox is — the
 	// wall-clock analogue of the simulator's retry pacing. Without it a
 	// cluster of starving processes answers every incoming message with a
-	// fresh probe and storms itself at network speed.
+	// fresh probe and storms itself at network speed. The pace is shared
+	// across the node's instances: it bounds the process's probe rate.
 	if wait := n.cl.cfg.RetryDelay - time.Since(inc.lastProbe); wait > 0 {
 		select {
 		case env := <-inc.inbox:
@@ -717,23 +828,23 @@ func (inc *incarnation) starve() {
 			return
 		}
 	}
-	switch inc.core.Starve() {
+	switch e.Core.Starve() {
 	case protocol.StarveRecover:
-		if plan := inc.core.PlanRecovery(); len(plan) > 0 {
-			inc.core.Adopt(plan)
+		if plan := e.Core.PlanRecovery(); len(plan) > 0 {
+			e.Core.Adopt(plan)
 		}
 	case protocol.StarveRequested:
 		inc.lastProbe = time.Now()
 		// Wait for the answer — or anything else worth reacting to.
 		select {
 		case env := <-inc.inbox:
-			if eff := inc.handle(env); !eff.Answered {
-				// Not the answer; don't count a failed attempt, just
-				// re-enter the loop (the next starve probes again).
-				inc.core.AbandonRequest()
+			if id, eff := inc.handle(env); id != e.ID || !eff.Answered {
+				// Not this instance's answer; don't count a failed attempt,
+				// just re-enter the loop (the next starve probes again).
+				e.Core.AbandonRequest()
 			}
 		case <-time.After(n.cl.cfg.RetryDelay):
-			inc.core.RequestFailed()
+			e.Core.RequestFailed()
 		case <-n.cl.stopAll:
 		}
 	case protocol.StarveWait:

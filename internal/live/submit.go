@@ -1,0 +1,229 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"gossipbnb/internal/bnb"
+	"gossipbnb/internal/protocol"
+)
+
+// instSpec is the cluster-wide registry entry of one submitted instance: the
+// recipe every node needs to open it (a fresh expander over the problem's
+// initial data), the node elected to seed its root, and the resolution state
+// the Run loop sweeps. Fields below the comment line are guarded by
+// Cluster.instMu; the atomics are free-standing.
+type instSpec struct {
+	id      protocol.InstanceID
+	newExp  func() protocol.Expander
+	trueOpt float64
+	// seedNode is the node elected at submission to seed the instance's root.
+	// If it crashes before seeding, any other node that polls the registry
+	// claims the seeding by the same CAS — the instance cannot be stranded by
+	// one failure.
+	seedNode *liveNode
+	seeded   atomic.Bool
+	expanded atomic.Int64
+
+	// Guarded by Cluster.instMu.
+	done      map[NodeID]bool    // nodes that detected this instance's termination
+	incumbent map[NodeID]float64 // their final incumbents
+	resolved  bool
+	optimum   float64
+
+	doneCh chan struct{} // closed at resolution; publishes optimum/resolved
+}
+
+// Handle tracks one submitted instance. Done is closed when every live node
+// detected the instance's termination; Result is then stable.
+type Handle struct {
+	// ID is the instance's wire identifier, tagging all its traffic.
+	ID   protocol.InstanceID
+	spec *instSpec
+}
+
+// Done returns a channel closed when the instance resolves — every node
+// still alive has detected its termination.
+func (h *Handle) Done() <-chan struct{} { return h.spec.doneCh }
+
+// Result returns the solved optimum once the instance resolved, and whether
+// it matches the sequential reference. Before resolution it reports ok=false
+// with a NaN optimum.
+func (h *Handle) Result() (optimum float64, ok bool) {
+	select {
+	case <-h.spec.doneCh:
+		// The closing write under instMu happens-before this read.
+		return h.spec.optimum, h.spec.optimum == h.spec.trueOpt
+	default:
+		return math.NaN(), false
+	}
+}
+
+// Expanded reports how many subproblems the cluster has expanded for this
+// instance so far — live progress, monotone while the instance runs.
+func (h *Handle) Expanded() int64 { return h.spec.expanded.Load() }
+
+// Submit starts solving a brand-new problem instance on the running cluster,
+// multiplexed over the same nodes, transport, and membership as everything
+// already in flight. The sequential reference optimum is computed here
+// (synchronously) for the Result cross-check; use SubmitRef to skip it.
+func (cl *Cluster) Submit(p bnb.Problem) (*Handle, error) {
+	return cl.SubmitRef(p, bnb.SolveProblem(p))
+}
+
+// SubmitRef is Submit with a precomputed sequential reference. The instance
+// is assigned the next wire ID, a live node is elected to seed its root, and
+// every node opens it at its next registry poll. Submission requires a
+// running cluster, like AddNode.
+func (cl *Cluster) SubmitRef(p bnb.Problem, ref bnb.Result) (*Handle, error) {
+	cl.stopMu.Lock()
+	defer cl.stopMu.Unlock()
+	if !cl.started || cl.stopped {
+		return nil, fmt.Errorf("live: Submit on a cluster that is not running")
+	}
+	var seed *liveNode
+	for _, n := range cl.nodes {
+		if !n.crashed.Load() {
+			seed = n
+			break
+		}
+	}
+	if seed == nil {
+		return nil, fmt.Errorf("live: no live node to seed the instance")
+	}
+	cl.instMu.Lock()
+	sp := &instSpec{
+		id:        protocol.InstanceID(len(cl.specs) + 1),
+		newExp:    func() protocol.Expander { return bnb.NewExpander(p) },
+		trueOpt:   ref.Value,
+		seedNode:  seed,
+		done:      map[NodeID]bool{},
+		incumbent: map[NodeID]float64{},
+		doneCh:    make(chan struct{}),
+	}
+	cl.specs = append(cl.specs, sp)
+	cl.instMu.Unlock()
+	cl.instEpoch.Add(1)
+	return &Handle{ID: sp.id, spec: sp}, nil
+}
+
+// syncInstances reconciles this incarnation's mux with the submission
+// registry. The fast path is one atomic epoch load; only a changed epoch —
+// or an unknown tagged message — walks the spec list. Each unresolved
+// instance this node has not yet finished gets a fresh core; the elected
+// seeder (or, if it crashed, whoever gets here first) seeds the root, won
+// by CAS so exactly one root ever enters the system.
+func (inc *incarnation) syncInstances() {
+	cl := inc.n.cl
+	epoch := cl.instEpoch.Load()
+	if epoch == inc.instEpoch {
+		return
+	}
+	inc.instEpoch = epoch
+	cl.instMu.Lock()
+	specs := append([]*instSpec(nil), cl.specs...)
+	cl.instMu.Unlock()
+	for _, sp := range specs {
+		if _, open := inc.mux.Get(sp.id); open {
+			continue
+		}
+		if _, dead := inc.mux.Reaped(sp.id); dead {
+			continue
+		}
+		cl.instMu.Lock()
+		skip := sp.resolved || sp.done[inc.n.id]
+		cl.instMu.Unlock()
+		if skip {
+			// Finished here before a crash, or globally resolved: a fresh
+			// open would resurrect a done instance. Stragglers are served by
+			// peers' tombstones instead.
+			continue
+		}
+		exp := sp.newExp()
+		core := cl.newCore(inc.n, exp, sp.id)
+		// Anchor the remote-activity clock: a fresh empty table means "this
+		// node knows nothing yet", not "the instance is quiet" — without the
+		// anchor the recovery path could adopt the complement of an empty
+		// table (the whole root) while work simply hasn't spread here.
+		core.NoteRemoteActivity(0)
+		e, ok := inc.mux.Open(sp.id, core, exp)
+		if !ok {
+			continue
+		}
+		e.Data = sp
+		if sp.seedNode == inc.n || sp.seedNode.crashed.Load() {
+			if sp.seeded.CompareAndSwap(false, true) {
+				core.Seed(exp.Root())
+			}
+		}
+	}
+}
+
+// noteInstanceDone records one node's termination detection for a submitted
+// instance. The record survives the node's later crash — detection happened,
+// exactly like a boot-instance finisher staying counted.
+func (cl *Cluster) noteInstanceDone(id protocol.InstanceID, node NodeID, incumbent float64) {
+	cl.instMu.Lock()
+	defer cl.instMu.Unlock()
+	if int(id) > len(cl.specs) || id == 0 {
+		return
+	}
+	sp := cl.specs[id-1]
+	if sp.resolved || sp.done[node] {
+		return
+	}
+	sp.done[node] = true
+	sp.incumbent[node] = incumbent
+}
+
+// resolveInstances sweeps the registry: an instance resolves when every
+// node is crashed or has detected its termination — and at least one
+// detected it, so a fully crashed cluster cannot "resolve" an unsolved
+// instance. Decided under stopMu, like tryStop, so no Restart can revive a
+// node between the verdict and the resolution.
+func (cl *Cluster) resolveInstances() {
+	cl.stopMu.Lock()
+	defer cl.stopMu.Unlock()
+	cl.instMu.Lock()
+	defer cl.instMu.Unlock()
+	for _, sp := range cl.specs {
+		if sp.resolved {
+			continue
+		}
+		all, any := true, false
+		opt := math.Inf(1)
+		for _, n := range cl.nodes {
+			if sp.done[n.id] {
+				any = true
+				if v := sp.incumbent[n.id]; v < opt {
+					opt = v
+				}
+				continue
+			}
+			if n.crashed.Load() {
+				continue
+			}
+			all = false
+			break
+		}
+		if all && any {
+			sp.optimum = opt
+			sp.resolved = true
+			close(sp.doneCh)
+		}
+	}
+}
+
+// specsResolved reports whether every submitted instance resolved. Callers
+// hold stopMu (the lock order is stopMu, then instMu).
+func (cl *Cluster) specsResolved() bool {
+	cl.instMu.Lock()
+	defer cl.instMu.Unlock()
+	for _, sp := range cl.specs {
+		if !sp.resolved {
+			return false
+		}
+	}
+	return true
+}

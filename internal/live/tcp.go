@@ -479,12 +479,16 @@ func readFrameInto(r io.Reader, scratch []byte) (Envelope, []byte, error) {
 	if k <= 0 {
 		return Envelope{}, scratch, fmt.Errorf("live: bad frame sender")
 	}
-	m, used, err := protocol.Decode(body[k:])
+	inst, m, used, err := protocol.DecodeInstance(body[k:])
 	if err != nil {
 		return Envelope{}, scratch, fmt.Errorf("live: frame payload: %w", err)
 	}
 	if k+used != len(body) {
 		return Envelope{}, scratch, fmt.Errorf("live: %d trailing bytes in frame", len(body)-k-used)
 	}
-	return Envelope{From: NodeID(from), Msg: m}, scratch, nil
+	var msg Message = m
+	if inst != 0 {
+		msg = protocol.InstMsg{Instance: inst, Msg: m}
+	}
+	return Envelope{From: NodeID(from), Msg: msg}, scratch, nil
 }

@@ -172,5 +172,45 @@ func (s *System) AggregateBreakdown() Breakdown {
 	return b
 }
 
+// Work returns the productive seconds — branch-and-bound expansion time, the
+// "work" axis of Dwork/Halpern/Waarts-style accounting.
+func (b Breakdown) Work() float64 { return b.t[BB] }
+
+// Overhead returns the protocol seconds: communication, contraction, and
+// load balancing. Idle is excluded — it is neither work nor overhead, just a
+// processor with nothing to do.
+func (b Breakdown) Overhead() float64 { return b.t[Comm] + b.t[Contract] + b.t[LB] }
+
+// Multi adds the instance label dimension to the registry: one System per
+// problem instance multiplexed over the cluster, so work, overhead, storage,
+// and redundancy stay attributable per tenant. Indexing is by instance slot
+// (0-based), not wire InstanceID — drivers own that mapping.
+type Multi struct {
+	Systems []*System
+}
+
+// NewMulti returns a registry for instances slots of nodes processes each.
+func NewMulti(instances, nodes int) *Multi {
+	m := &Multi{Systems: make([]*System, instances)}
+	for i := range m.Systems {
+		m.Systems[i] = NewSystem(nodes)
+	}
+	return m
+}
+
+// At returns instance slot i's System.
+func (m *Multi) At(i int) *System { return m.Systems[i] }
+
+// AggregateBreakdown sums the per-instance aggregate breakdowns — the
+// whole-cluster time split across every tenant.
+func (m *Multi) AggregateBreakdown() Breakdown {
+	var b Breakdown
+	for _, s := range m.Systems {
+		sb := s.AggregateBreakdown()
+		b.Merge(&sb)
+	}
+	return b
+}
+
 // MB converts bytes to megabytes (10^6, as the paper reports).
 func MB(bytes int64) float64 { return float64(bytes) / 1e6 }

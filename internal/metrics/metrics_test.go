@@ -123,3 +123,35 @@ func TestMB(t *testing.T) {
 		t.Errorf("MB = %g", MB(2_500_000))
 	}
 }
+
+func TestWorkOverhead(t *testing.T) {
+	var b Breakdown
+	b.Add(BB, 10)
+	b.Add(Comm, 1)
+	b.Add(Contract, 2)
+	b.Add(LB, 3)
+	b.Add(Idle, 100) // neither work nor overhead
+	if b.Work() != 10 {
+		t.Errorf("Work = %g", b.Work())
+	}
+	if b.Overhead() != 6 {
+		t.Errorf("Overhead = %g", b.Overhead())
+	}
+}
+
+func TestMultiInstanceDimension(t *testing.T) {
+	m := NewMulti(3, 2)
+	m.At(0).Nodes[0].Add(BB, 5)
+	m.At(1).Nodes[1].Add(Comm, 2)
+	m.At(2).Nodes[0].Add(BB, 1)
+	if got := m.At(0).AggregateBreakdown().Work(); got != 5 {
+		t.Errorf("instance 0 work = %g", got)
+	}
+	if got := m.At(1).AggregateBreakdown().Overhead(); got != 2 {
+		t.Errorf("instance 1 overhead = %g", got)
+	}
+	agg := m.AggregateBreakdown()
+	if agg.Work() != 6 || agg.Overhead() != 2 {
+		t.Errorf("aggregate = work %g, overhead %g", agg.Work(), agg.Overhead())
+	}
+}

@@ -13,7 +13,9 @@ import (
 // The canonical binary encoding, shared by every transport that needs bytes
 // (the TCP runtime today; any future wire goes through the same codec):
 //
-//	msg     := u8(kind) f64le(incumbent) f64le(actAge) [payload]
+//	msg     := header f64le(incumbent) f64le(actAge) [payload]
+//	header  := u8(kind)                               (instance 0, legacy)
+//	         | u8(kind|0x80) uvarint(instance)        (instance-scoped)
 //	payload := codes                                  (report, table, grant)
 //	         | u64le(digest) codes                    (digest report)
 //	         | u8(full) prefix                        (subtree request)
@@ -28,10 +30,24 @@ import (
 // returns the number of bytes consumed. Encode produces exactly Size() bytes.
 
 // Encode appends the wire encoding of m to dst and returns the extended
-// slice. It fails only on a message type outside the canonical set.
+// slice. An InstMsg encodes the instance-scoped header (instance 0 unwraps to
+// the legacy bytes); anything else encodes exactly as before instances
+// existed. It fails only on a message type outside the canonical set.
 func Encode(dst []byte, m Msg) ([]byte, error) {
+	var inst InstanceID
+	if im, ok := m.(InstMsg); ok {
+		inst, m = im.Instance, im.Msg
+		if _, nested := m.(InstMsg); nested {
+			return nil, errors.New("protocol: nested InstMsg")
+		}
+	}
 	put := func(kind byte, incumbent, actAge float64) {
-		dst = append(dst, kind)
+		if inst != 0 {
+			dst = append(dst, kind|instanceFlag)
+			dst = binary.AppendUvarint(dst, uint64(inst))
+		} else {
+			dst = append(dst, kind)
+		}
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(incumbent))
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(actAge))
 	}
@@ -108,15 +124,57 @@ func Encode(dst []byte, m Msg) ([]byte, error) {
 const maxAddrLen = 1 << 10
 
 // Decode reads one message from the front of buf, returning the message and
-// the number of bytes consumed.
+// the number of bytes consumed. Decode is the version-0 (single-instance)
+// entry point: it rejects instance-scoped headers outright, so a legacy
+// stream cannot smuggle the instance field onto kinds that predate it. Use
+// DecodeInstance on multiplexed transports.
 func Decode(buf []byte) (Msg, int, error) {
+	if len(buf) > 0 && buf[0]&instanceFlag != 0 {
+		return nil, 0, fmt.Errorf("protocol: instance-scoped kind byte %#x in a version-0 stream", buf[0])
+	}
 	if len(buf) < scalarSize {
 		return nil, 0, errors.New("protocol: truncated message")
 	}
-	kind := buf[0]
-	incumbent := math.Float64frombits(binary.LittleEndian.Uint64(buf[1:9]))
-	actAge := math.Float64frombits(binary.LittleEndian.Uint64(buf[9:17]))
-	off := scalarSize
+	return decodeMsg(buf[0], buf, 1)
+}
+
+// DecodeInstance reads one message from the front of buf, returning its
+// instance (0 for legacy headers), the message, and the bytes consumed. An
+// instance-scoped header must carry a nonzero instance: the canonical
+// encoding of instance 0 is the flagless legacy header, so a flagged zero is
+// rejected as corrupt.
+func DecodeInstance(buf []byte) (InstanceID, Msg, int, error) {
+	if len(buf) == 0 || buf[0]&instanceFlag == 0 {
+		m, n, err := Decode(buf)
+		return 0, m, n, err
+	}
+	inst, n := binary.Uvarint(buf[1:])
+	switch {
+	case n <= 0:
+		return 0, nil, 0, errors.New("protocol: truncated instance id")
+	case inst == 0:
+		return 0, nil, 0, errors.New("protocol: instance-scoped header with instance 0")
+	case inst > math.MaxUint32:
+		return 0, nil, 0, errors.New("protocol: instance id overflow")
+	}
+	off := 1 + n
+	if len(buf) < off+16 {
+		return 0, nil, 0, errors.New("protocol: truncated message")
+	}
+	m, consumed, err := decodeMsg(buf[0]&^instanceFlag, buf, off)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return InstanceID(inst), m, consumed, nil
+}
+
+// decodeMsg decodes the scalars and payload of one message whose kind byte
+// (instance flag already stripped) is kind; off points at the incumbent
+// scalar, with at least 16 bytes available.
+func decodeMsg(kind byte, buf []byte, off int) (Msg, int, error) {
+	incumbent := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+	actAge := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:]))
+	off += 16
 	readCodes := func() ([]code.Code, error) {
 		cs, n, err := code.DecodeAll(buf[off:])
 		if err != nil {

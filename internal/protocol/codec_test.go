@@ -165,10 +165,121 @@ func TestCodecRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestCodecInstanceRoundTrip(t *testing.T) {
+	codes := sampleCodes()
+	inner := []Msg{
+		Report{Codes: codes, Incumbent: 3.5, ActAge: 0.25},
+		TableMsg{Codes: codes[1:], Incumbent: -1, ActAge: 12},
+		WorkRequest{Incumbent: math.Inf(1)},
+		WorkGrant{Codes: codes[1:], Incumbent: -2, ActAge: 7},
+		WorkDeny{ActAge: 3},
+		DigestReport{Digest: 0xdeadbeef, Codes: codes, Incumbent: 2},
+		SubtreeRequest{Prefix: codes[1], Full: true, Incumbent: 9},
+		SubtreeReply{Prefix: codes[1], Leaf: true, Rel: codes[2:], Incumbent: 5},
+		Hello{ID: 7, Addr: "127.0.0.1:9021", Incumbent: 1},
+		Welcome{Peers: []Peer{{ID: 0, Addr: "10.0.0.1:80"}}, Incumbent: -4},
+	}
+	for _, inst := range []InstanceID{0, 1, 2, 127, 128, 300, math.MaxUint32} {
+		for _, m := range inner {
+			im := InstMsg{Instance: inst, Msg: m}
+			buf, err := Encode(nil, im)
+			if err != nil {
+				t.Fatalf("inst %d %T: encode: %v", inst, m, err)
+			}
+			if len(buf) != im.Size() {
+				t.Errorf("inst %d %T: Size() = %d but Encode produced %d bytes", inst, m, im.Size(), len(buf))
+			}
+			gotInst, got, n, err := DecodeInstance(buf)
+			if err != nil {
+				t.Fatalf("inst %d %T: decode: %v", inst, m, err)
+			}
+			if gotInst != inst || n != len(buf) {
+				t.Errorf("inst %d %T: DecodeInstance = inst %d, %d of %d bytes", inst, m, gotInst, n, len(buf))
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Errorf("inst %d %T round trip mismatch:\n got %+v\nwant %+v", inst, m, got, m)
+			}
+			if inst == 0 {
+				// Instance 0 is the legacy encoding, bit for bit.
+				legacy, _ := Encode(nil, m)
+				if string(buf) != string(legacy) {
+					t.Errorf("%T: instance 0 encoding differs from legacy", m)
+				}
+				if _, _, err := Decode(buf); err != nil {
+					t.Errorf("%T: legacy Decode rejected instance-0 bytes: %v", m, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsInstanceInLegacyMode(t *testing.T) {
+	// Every pre-instance kind must refuse the instance field in version-0
+	// mode: a flagged header is a protocol violation there, not a message.
+	for k := byte(1); k < byte(KindCount); k++ {
+		buf, err := Encode(nil, InstMsg{Instance: 42, Msg: WorkDeny{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = k | instanceFlag
+		if _, _, err := Decode(buf); err == nil {
+			t.Errorf("legacy Decode accepted instance-scoped kind %d", k)
+		}
+		if _, _, _, err := DecodeInstance(buf); err != nil && k == KindDeny {
+			t.Errorf("DecodeInstance rejected a valid tagged message: %v", err)
+		}
+	}
+}
+
+func TestDecodeInstanceRejectsGarbage(t *testing.T) {
+	if _, _, _, err := DecodeInstance(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	good, err := Encode(nil, InstMsg{Instance: 300, Msg: WorkDeny{Incumbent: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flagged kind byte with nothing after it: the varint is truncated.
+	if _, _, _, err := DecodeInstance(good[:1]); err == nil {
+		t.Error("truncated instance varint accepted")
+	}
+	// Scalars cut off after a valid instance varint.
+	if _, _, _, err := DecodeInstance(good[:len(good)-1]); err == nil {
+		t.Error("truncated scalars accepted")
+	}
+	// A flagged header carrying instance 0 is non-canonical (the canonical
+	// zero is flagless) and must be rejected, not aliased.
+	zero := append([]byte{KindDeny | instanceFlag, 0}, good[3:]...)
+	if _, _, _, err := DecodeInstance(zero); err == nil {
+		t.Error("instance 0 with the flag set accepted")
+	}
+	// Instance varint overflowing uint32.
+	over := append([]byte{KindDeny | instanceFlag, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, good[3:]...)
+	if _, _, _, err := DecodeInstance(over); err == nil {
+		t.Error("instance id overflow accepted")
+	}
+	// Unknown kind under the flag.
+	bad := append([]byte(nil), good...)
+	bad[0] = 99 | instanceFlag
+	if _, _, _, err := DecodeInstance(bad); err == nil {
+		t.Error("unknown flagged kind accepted")
+	}
+	// Payload truncation inside a tagged message.
+	rep, _ := Encode(nil, InstMsg{Instance: 5, Msg: Report{Codes: sampleCodes()}})
+	if _, _, _, err := DecodeInstance(rep[:len(rep)-2]); err == nil {
+		t.Error("truncated tagged code batch accepted")
+	}
+	// Nested wrappers must not encode.
+	if _, err := Encode(nil, InstMsg{Instance: 1, Msg: InstMsg{Instance: 2, Msg: WorkDeny{}}}); err == nil {
+		t.Error("nested InstMsg encoded")
+	}
+}
+
 // FuzzDecode throws arbitrary bytes at the codec: it must never panic, and
 // anything it accepts must survive an encode/decode round trip unchanged.
 // (Byte-identity is NOT required: varints have non-minimal encodings that
-// decode fine but re-encode shorter.)
+// decode fine but re-encode shorter.) Both decode modes run on every input:
+// the version-0 Decode and the instance-aware DecodeInstance.
 func FuzzDecode(f *testing.F) {
 	for _, m := range []Msg{
 		Report{Codes: sampleCodes(), Incumbent: 1, ActAge: 2},
@@ -190,9 +301,28 @@ func FuzzDecode(f *testing.F) {
 		}
 		f.Add(buf)
 	}
+	// Instance-scoped headers: tagged seeds for the flagged-kind path.
+	for _, inst := range []InstanceID{1, 128, math.MaxUint32} {
+		for _, m := range []Msg{
+			Report{Codes: sampleCodes(), Incumbent: 1},
+			WorkRequest{ActAge: 2},
+			DigestReport{Digest: 0x77, Codes: sampleCodes()[:1]},
+			Hello{ID: 3, Addr: "h:1"},
+		} {
+			buf, err := Encode(nil, InstMsg{Instance: inst, Msg: m})
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf)
+		}
+	}
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{KindDeny | 0x80})          // flagged kind, truncated varint
+	f.Add([]byte{KindDeny | 0x80, 0})       // flagged instance 0 (non-canonical)
+	f.Add([]byte{KindDeny | 0x80, 0xac, 2}) // flagged header, truncated scalars
 	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzInstanceDecode(t, data)
 		m, n, err := Decode(data)
 		if err != nil {
 			return
@@ -221,4 +351,41 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("round trip changed the message:\n was %+v\n now %+v", m, m2)
 		}
 	})
+}
+
+// fuzzInstanceDecode holds the instance-aware half of the fuzz property: what
+// DecodeInstance accepts must re-encode (tagged) and re-decode to the same
+// instance and canonical bytes, and version-0 Decode must refuse any input
+// whose header carries the instance flag.
+func fuzzInstanceDecode(t *testing.T, data []byte) {
+	if len(data) > 0 && data[0]&0x80 != 0 {
+		if _, _, err := Decode(data); err == nil {
+			t.Fatal("legacy Decode accepted an instance-flagged header")
+		}
+	}
+	inst, m, n, err := DecodeInstance(data)
+	if err != nil {
+		return
+	}
+	if n <= 0 || n > len(data) {
+		t.Fatalf("DecodeInstance consumed %d of %d bytes", n, len(data))
+	}
+	re, err := Encode(nil, InstMsg{Instance: inst, Msg: m})
+	if err != nil {
+		t.Fatalf("decoded message does not re-encode: %v", err)
+	}
+	inst2, m2, n2, err := DecodeInstance(re)
+	if err != nil {
+		t.Fatalf("re-encoded message does not decode: %v", err)
+	}
+	if inst2 != inst || n2 != len(re) {
+		t.Fatalf("re-decode = inst %d, %d of %d bytes; want inst %d", inst2, n2, len(re), inst)
+	}
+	re2, err := Encode(nil, InstMsg{Instance: inst2, Msg: m2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(re2) {
+		t.Fatalf("instance round trip changed the message:\n was %+v\n now %+v", m, m2)
+	}
 }

@@ -18,6 +18,7 @@ package protocol
 
 import (
 	"math"
+	"sync"
 
 	"gossipbnb/internal/code"
 	"gossipbnb/internal/ctree"
@@ -300,11 +301,34 @@ func New(id NodeID, cfg Config, d Deps) *Core {
 		cfg:       cfg.withDefaults(),
 		d:         d,
 		pool:      pool{dfs: cfg.Select == DepthFirst},
-		table:     ctree.New(),
-		outbox:    ctree.New(),
+		table:     newPooledTable(),
+		outbox:    newPooledTable(),
 		incumbent: math.Inf(1),
 		lastSync:  math.Inf(-1),
 	}
+}
+
+// tablePool recycles completion tables — trie-vertex free lists included —
+// across core lifetimes, so a process multiplexing a stream of instances
+// reuses the arenas of the instances it reaped instead of regrowing them.
+var tablePool = sync.Pool{New: func() any { return ctree.New() }}
+
+func newPooledTable() *ctree.Table {
+	return tablePool.Get().(*ctree.Table)
+}
+
+// Release returns the core's completion table and outbox to the shared pool,
+// for drivers reaping a finished instance. The core stays usable as a
+// tombstone — Incumbent, Terminated, and ActivityAge still answer — but its
+// tables are replaced by fresh empties, so callers must not expect table
+// content to survive.
+func (c *Core) Release() {
+	c.table.Reset()
+	c.outbox.Reset()
+	tablePool.Put(c.table)
+	tablePool.Put(c.outbox)
+	c.table = ctree.New()
+	c.outbox = ctree.New()
 }
 
 // --- state accessors ---------------------------------------------------------

@@ -16,6 +16,36 @@ type Msg interface {
 	Kind() byte
 }
 
+// InstanceID names one problem instance when several are multiplexed over a
+// cluster. Zero is the legacy single instance: its messages encode
+// bit-identically to the pre-instance wire format, so a one-problem cluster
+// pays nothing for the namespace.
+type InstanceID uint32
+
+// InstMsg tags a canonical message with the instance it belongs to.
+// Transports that carry many instances wrap outbound messages in InstMsg and
+// route inbound ones by Instance; the embedded Msg keeps Kind (and thus
+// per-kind accounting) transparent. Size counts the header's instance varint
+// — zero extra bytes for instance 0.
+type InstMsg struct {
+	Instance InstanceID
+	Msg
+}
+
+// Size implements Msg, adding the instance varint carried in the header.
+func (m InstMsg) Size() int {
+	if m.Instance == 0 {
+		return m.Msg.Size()
+	}
+	return m.Msg.Size() + uvarintLen(uint64(m.Instance))
+}
+
+// instanceFlag is the kind-byte bit that marks an instance-scoped header: the
+// encoded kind becomes kind|instanceFlag followed by uvarint(instance). Plain
+// kinds stay below it, so version-0 decoders can reject flagged messages
+// outright.
+const instanceFlag byte = 0x80
+
 // Message kind bytes, shared between the codec and the per-kind network
 // accounting. Zero is deliberately invalid so an all-zero buffer never
 // decodes (transports use it as the "unknown kind" accounting bucket).
