@@ -213,6 +213,45 @@ func BenchmarkRealKnapsackLive(b *testing.B) {
 	}
 }
 
+// BenchmarkSelfHealing measures the failure-free price of the self-healing
+// machinery on a real TCP cluster. Every frame already pays the CRC32-C
+// trailer unconditionally; detector=off is that baseline, detector=on adds
+// heartbeat tracking and idle-link pings at thresholds no healthy run
+// crosses. The two must stay within gate noise of each other — the paper's
+// argument needs failure detection to cost nothing when nothing fails —
+// and the run itself asserts that a clean cluster produces zero
+// suspicions, zero exclusions, and zero corrupt frames.
+func BenchmarkSelfHealing(b *testing.B) {
+	k := RandomKnapsack(rand.New(rand.NewSource(12)), 18)
+	seq := SolveProblem(k)
+	run := func(b *testing.B, suspect time.Duration) {
+		for i := 0; i < b.N; i++ {
+			nw, err := NewTCPNetwork(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl := NewLiveProblemClusterRef(k, seq, LiveConfig{
+				Nodes: 4, Seed: 12, Prune: true, Network: nw,
+				SuspectAfter: suspect,
+				Timeout:      60 * time.Second,
+			})
+			res := cl.Run()
+			nw.Close()
+			if !res.Terminated || !res.OptimumOK {
+				b.Fatal("wrong optimum")
+			}
+			if res.Net.Corrupt != 0 {
+				b.Fatalf("clean TCP run rejected %d frames", res.Net.Corrupt)
+			}
+			if res.Health.Suspicions != 0 || res.Health.Exclusions != 0 {
+				b.Fatalf("failure-free run tripped the detector: %+v", res.Health)
+			}
+		}
+	}
+	b.Run("detector=off", func(b *testing.B) { run(b, 0) })
+	b.Run("detector=on", func(b *testing.B) { run(b, 500*time.Millisecond) })
+}
+
 // stressRun is one scale-tier iteration: a deep (30-item) knapsack solved
 // from initial data on procs simulated processes. Most processes starve,
 // probe, gossip tables, and chase the final termination broadcast, so the

@@ -1,6 +1,62 @@
 package main
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
+
+func TestNemesisFlagParsing(t *testing.T) {
+	var n nemesisList
+	if err := n.Set("partition:10-20:0,1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Set("stall:3:5-"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Set("flap:0-2:4:0-20"); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.specs) != 3 {
+		t.Fatalf("specs = %v", n.specs)
+	}
+	// partition → one window; open-ended stall → to +Inf; 20s flap at
+	// period 4 → five down half-periods.
+	if len(n.parts) != 1+1+5 {
+		t.Fatalf("parts = %+v", n.parts)
+	}
+	if p := n.parts[0]; p.Start != 10 || p.End != 20 || len(p.Group) != 2 {
+		t.Errorf("partition window = %+v", p)
+	}
+	if p := n.parts[1]; p.Start != 5 || !math.IsInf(p.End, 1) || len(p.Group) != 1 || p.Group[0] != 3 {
+		t.Errorf("stall window = %+v", p)
+	}
+	if p := n.parts[2]; p.Start != 0 || p.End != 2 || len(p.Group) != 1 || p.Group[0] != 0 {
+		t.Errorf("first flap window = %+v", p)
+	}
+	if p := n.parts[6]; p.Start != 16 || p.End != 18 {
+		t.Errorf("last flap window = %+v", p)
+	}
+	if n.String() == "" {
+		t.Error("empty String")
+	}
+	for _, bad := range []string{
+		"",
+		"bogus:1-2:0",
+		"oneway:1-2:0|1",  // live-only: no directed cuts in the simulator
+		"slow:0-1:10ms",   // live-only: no per-link delay
+		"corrupt:0.5",     // live-only: no payload damage
+		"flap:0-1:4:10-",  // open-ended flap cannot be enumerated
+		"partition:2-1:0", // bad window
+	} {
+		if err := n.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	// Rejected specs must not leave partial state behind.
+	if len(n.specs) != 3 || len(n.parts) != 7 {
+		t.Errorf("rejected specs mutated the list: %v / %+v", n.specs, n.parts)
+	}
+}
 
 func TestCrashListParsing(t *testing.T) {
 	var c crashList

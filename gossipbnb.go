@@ -37,6 +37,8 @@ import (
 	"gossipbnb/internal/dbnb"
 	"gossipbnb/internal/dib"
 	"gossipbnb/internal/live"
+	"gossipbnb/internal/metrics"
+	"gossipbnb/internal/nemesis"
 	"gossipbnb/internal/protocol"
 	"gossipbnb/internal/sim"
 	"gossipbnb/internal/trace"
@@ -372,3 +374,49 @@ func NewLiveProblemClusterRef(p Problem, ref SolveResult, cfg LiveConfig) *LiveC
 // cluster with LiveCluster.Submit: Done closes at cluster-wide resolution,
 // Result cross-checks the optimum, Expanded reports live progress.
 type InstanceHandle = live.Handle
+
+// --- self-healing: failure detection and fault injection --------------------------------
+
+// NemesisSchedule is a declarative fault-injection schedule for the live
+// transports: partitions, one-way cuts, flapping links, stalls, slow links,
+// and byte corruption, each over a time window (LiveConfig.Nemesis).
+type NemesisSchedule = nemesis.Schedule
+
+// NemesisFault is one scheduled fault of a NemesisSchedule.
+type NemesisFault = nemesis.Fault
+
+// ParseNemesis builds a schedule from fault specs in the nemesis grammar,
+// e.g. "partition:1-3:0,1|2,3", "flap:0-2:0.25", "stall:2:1-",
+// "corrupt:0.1:0-5".
+func ParseNemesis(specs ...string) (*NemesisSchedule, error) {
+	fs, err := nemesis.ParseAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	return nemesis.New(fs...), nil
+}
+
+// DetectEvent is one failure-detector transition, delivered to
+// LiveConfig.OnDetect: the observing node suspected, cleared, excluded, or
+// re-absorbed a peer.
+type DetectEvent = live.DetectEvent
+
+// DetectKind labels a DetectEvent.
+type DetectKind = live.DetectKind
+
+// Detector transitions, in escalation order.
+const (
+	Suspected  = live.Suspected
+	Cleared    = live.Cleared
+	Excluded   = live.Excluded
+	Reabsorbed = live.Reabsorbed
+)
+
+// LiveNetStats is a live transport's traffic ledger with per-cause drop
+// counts (LiveResult.Net).
+type LiveNetStats = live.NetStats
+
+// NetHealth summarizes what the self-healing layer observed during a run:
+// CRC rejections, injected-fault casualties, and detector transitions
+// (LiveResult.Health).
+type NetHealth = metrics.NetHealth

@@ -124,8 +124,8 @@ func TestShardDeterminism(t *testing.T) {
 	cfg := Config{
 		Procs: 48, Seed: 5, Prune: true, Shards: 4,
 		Duplicate: 0.03, Reorder: 0.03,
-		Crashes:   []Crash{{Time: 0.8, Node: 7, Restart: 2.2}},
-		MaxTime:   1e6,
+		Crashes: []Crash{{Time: 0.8, Node: 7, Restart: 2.2}},
+		MaxTime: 1e6,
 	}
 	a := RunProblemRef(k, ref, cfg)
 	b := RunProblemRef(k, ref, cfg)

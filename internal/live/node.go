@@ -11,6 +11,8 @@ import (
 	"gossipbnb/internal/btree"
 	"gossipbnb/internal/code"
 	"gossipbnb/internal/instance"
+	"gossipbnb/internal/metrics"
+	"gossipbnb/internal/nemesis"
 	"gossipbnb/internal/protocol"
 )
 
@@ -53,6 +55,27 @@ type Config struct {
 	// the run closes within one completion-check tick of the last instance
 	// resolving. A submission during the window resets it.
 	Linger time.Duration
+	// SuspectAfter enables the failure detector: a peer silent this long is
+	// suspected. Zero disables detection entirely — no per-peer tracking, no
+	// heartbeats, no pings — keeping the failure-free path unchanged.
+	SuspectAfter time.Duration
+	// ExcludeAfter is the silence after which a suspect is excluded from the
+	// local view (defaults to 4×SuspectAfter, never below SuspectAfter).
+	// Exclusion is the same §5.2 view shrink a crash notification produces,
+	// and is always revocable: any message from the peer re-absorbs it.
+	ExcludeAfter time.Duration
+	// HeartbeatEvery paces explicit Ping heartbeats on otherwise idle links
+	// (defaults to SuspectAfter/3). Busy links never ping — every received
+	// envelope is already evidence of life.
+	HeartbeatEvery time.Duration
+	// Nemesis injects scheduled faults (partitions, flaps, stalls, slow
+	// links, corruption) into the transport; nil means none. The schedule is
+	// armed when Run starts.
+	Nemesis *nemesis.Schedule
+	// OnDetect observes failure-detector transitions (suspected, cleared,
+	// excluded, reabsorbed) across all nodes. Called from node goroutines —
+	// handlers must be fast and concurrency-safe.
+	OnDetect func(DetectEvent)
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +97,19 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.SuspectAfter > 0 {
+		if c.ExcludeAfter <= 0 {
+			c.ExcludeAfter = 4 * c.SuspectAfter
+		} else if c.ExcludeAfter < c.SuspectAfter {
+			c.ExcludeAfter = c.SuspectAfter
+		}
+		if c.HeartbeatEvery <= 0 {
+			c.HeartbeatEvery = c.SuspectAfter / 3
+		}
+		if c.HeartbeatEvery <= 0 {
+			c.HeartbeatEvery = time.Millisecond
+		}
+	}
 	return c
 }
 
@@ -88,6 +124,11 @@ type Result struct {
 	BytesSent  int64
 	// Kinds breaks the sent traffic down by message kind.
 	Kinds KindStats
+	// Net is the transport's full traffic ledger, per-cause drops included.
+	Net NetStats
+	// Health aggregates what the self-healing layer saw: frame-integrity
+	// rejections, nemesis casualties, and detector transitions.
+	Health metrics.NetHealth
 }
 
 // liveNode is one goroutine-backed process identity: it survives
@@ -124,6 +165,13 @@ type liveNode struct {
 	// incarnation state.
 	view   atomic.Pointer[[]protocol.NodeID]
 	viewMu sync.Mutex
+
+	// Failure-detector tallies, summed across incarnations — a restart wipes
+	// the detector's state but not what it observed.
+	detSuspicions atomic.Int64
+	detExclusions atomic.Int64
+	detReabsorbed atomic.Int64
+	detCleared    atomic.Int64
 }
 
 // incarnation is one boot of a liveNode: everything a crash wipes. The §5
@@ -153,6 +201,10 @@ type incarnation struct {
 	contacts  []NodeID
 	welcomed  bool
 	lastHello time.Time
+
+	// det is the incarnation's failure detector; nil when SuspectAfter is
+	// zero. Confined to this incarnation's goroutine.
+	det *detector
 }
 
 // Cluster wires live nodes over a shared transport. It solves either a
@@ -204,17 +256,20 @@ func (c liveClock) Now() float64 { return time.Since(c.start).Seconds() }
 // instSender transmits one instance's canonical messages over the cluster
 // transport, tagging them with the instance ID. Instance 0 — the boot
 // problem — stays untagged, so a never-multiplexed cluster speaks the exact
-// legacy wire format.
+// legacy wire format. Sends refresh the failure detector's per-link clock,
+// so heartbeats only fill links the protocol leaves idle.
 type instSender struct {
-	n  *liveNode
-	id protocol.InstanceID
+	inc *incarnation
+	id  protocol.InstanceID
 }
 
 func (s instSender) Send(to protocol.NodeID, m protocol.Msg) {
 	if s.id != 0 {
 		m = protocol.InstMsg{Instance: s.id, Msg: m}
 	}
-	s.n.cl.tr.Send(s.n.id, NodeID(to), m)
+	s.inc.det.noteSent(NodeID(to))
+	n := s.inc.n
+	n.cl.tr.Send(n.id, NodeID(to), m)
 }
 
 // NewCluster builds a cluster replaying a recorded basic tree under cfg:
@@ -257,6 +312,11 @@ func newCluster(cfg Config, newExp func() protocol.Expander, sleepOf func(it pro
 		}
 		tr = mem
 	}
+	if cfg.Nemesis != nil {
+		if s, ok := tr.(interface{ SetNemesis(*nemesis.Schedule) }); ok {
+			s.SetNemesis(cfg.Nemesis)
+		}
+	}
 	cl := &Cluster{
 		cfg:     cfg,
 		tr:      tr,
@@ -292,15 +352,19 @@ func newCluster(cfg Config, newExp func() protocol.Expander, sleepOf func(it pro
 // (re)opened lazily by syncInstances at the first loop turn.
 func (cl *Cluster) newIncarnation(n *liveNode, gen int64, inbox <-chan Envelope) *incarnation {
 	inc := &incarnation{n: n, gen: gen, inbox: inbox, exp: cl.newExp(), mux: instance.NewMux()}
-	inc.core = cl.newCore(n, inc.exp, 0)
+	inc.core = cl.newCore(inc, inc.exp, 0)
 	inc.mux.Open(0, inc.core, inc.exp)
+	if cl.cfg.SuspectAfter > 0 {
+		inc.det = newDetector(inc)
+	}
 	return inc
 }
 
-// newCore builds one instance's protocol core for a node, its sends tagged
-// with the instance ID.
-func (cl *Cluster) newCore(n *liveNode, exp protocol.Expander, id protocol.InstanceID) *protocol.Core {
+// newCore builds one instance's protocol core for an incarnation, its sends
+// tagged with the instance ID.
+func (cl *Cluster) newCore(inc *incarnation, exp protocol.Expander, id protocol.InstanceID) *protocol.Core {
 	cfg := &cl.cfg
+	n := inc.n
 	return protocol.New(protocol.NodeID(n.id), protocol.Config{
 		Select:           cfg.Select,
 		Prune:            cfg.Prune,
@@ -313,7 +377,7 @@ func (cl *Cluster) newCore(n *liveNode, exp protocol.Expander, id protocol.Insta
 		DiffGossip:       cfg.DiffGossip,
 	}, protocol.Deps{
 		Clock:     cl.clock,
-		Sender:    instSender{n, id},
+		Sender:    instSender{inc, id},
 		Expander:  exp,
 		Peers:     n.peers,
 		Rand:      cl.rand,
@@ -486,6 +550,11 @@ func (cl *Cluster) randFloat() float64 {
 // termination or the timeout expires.
 func (cl *Cluster) Run() Result {
 	start := time.Now()
+	if cl.cfg.Nemesis != nil {
+		// Fault windows are relative to the run, not to construction or the
+		// first send.
+		cl.cfg.Nemesis.Arm(start)
+	}
 	cl.stopMu.Lock()
 	cl.started = true
 	for _, n := range cl.nodes {
@@ -554,7 +623,30 @@ loop:
 	sent, _, bytes := cl.tr.Stats()
 	res.MsgsSent, res.BytesSent = sent, bytes
 	res.Kinds = cl.tr.ByKind()
+	res.Net = cl.tr.NetStats()
+	res.Health = metrics.NetHealth{
+		CorruptFrames: res.Net.Corrupt,
+		CutMessages:   res.Net.Cut,
+		SuspectDrops:  res.Net.Suspect,
+	}
+	for _, n := range cl.nodes {
+		res.Health.Suspicions += n.detSuspicions.Load()
+		res.Health.Exclusions += n.detExclusions.Load()
+		res.Health.Reabsorbed += n.detReabsorbed.Load()
+	}
 	return res
+}
+
+// PeerView returns a copy of id's current peer view — the membership the
+// node would steer work exchange by right now. Soak harnesses use it to
+// assert no live node ends a healed run permanently excluded.
+func (cl *Cluster) PeerView(id NodeID) []protocol.NodeID {
+	cl.stopMu.Lock()
+	defer cl.stopMu.Unlock()
+	if int(id) >= len(cl.nodes) {
+		return nil
+	}
+	return append([]protocol.NodeID(nil), cl.nodes[id].peers()...)
 }
 
 // peers returns the node's current view (crashed members included — failures
@@ -586,6 +678,24 @@ func (n *liveNode) learnPeer(id protocol.NodeID) bool {
 	return true
 }
 
+// dropPeer removes an excluded member from the view (copy-on-write) — the
+// detector-driven counterpart of the §5.2 view shrink a crash notification
+// produces. Re-absorption undoes it via learnPeer.
+func (n *liveNode) dropPeer(id protocol.NodeID) {
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
+	cur := *n.view.Load()
+	for i, p := range cur {
+		if p == id {
+			next := make([]protocol.NodeID, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			n.view.Store(&next)
+			return
+		}
+	}
+}
+
 // run is the incarnation goroutine: alternate work and message handling,
 // exactly the process model of §5, round-robin across every instance the
 // process hosts. It exits when the cluster stops, the node crashes, or a
@@ -608,6 +718,7 @@ func (inc *incarnation) run() {
 			return
 		}
 		inc.maybeAnnounce()
+		inc.det.tick()
 		inc.syncInstances()
 		// Handle all pending messages.
 		drained := false
@@ -651,6 +762,10 @@ func (inc *incarnation) run() {
 // unknown ones triggering a registry poll — a submitted instance's traffic
 // can outrun the submission epoch's propagation to this node.
 func (inc *incarnation) handle(env Envelope) (protocol.InstanceID, protocol.Effect) {
+	// Every delivered envelope is evidence its sender is alive — the
+	// piggybacked heartbeat. This must precede routing: a suspect's work
+	// request clears the suspicion before the core decides how to answer.
+	inc.det.heard(env.From)
 	switch m := env.Msg.(type) {
 	case protocol.Hello:
 		inc.onHello(env.From, m)
@@ -682,7 +797,7 @@ func (inc *incarnation) handle(env Envelope) (protocol.InstanceID, protocol.Effe
 		// everything else about a finished instance is droppable.
 		if _, isReq := pm.(protocol.WorkRequest); isReq {
 			if tomb, ok := inc.mux.Reaped(id); ok {
-				instSender{inc.n, id}.Send(protocol.NodeID(env.From),
+				instSender{inc, id}.Send(protocol.NodeID(env.From),
 					protocol.Report{Codes: []code.Code{code.Root()}, Incumbent: tomb})
 			}
 		}
@@ -754,7 +869,11 @@ func (inc *incarnation) onWelcome(from NodeID, w protocol.Welcome) {
 		n.learnPeer(p.ID)
 	}
 	inc.core.NoteRemoteActivity(w.ActAge)
-	if !inc.welcomed || inc.core.Table().Len() == 0 {
+	// A Welcome from a peer this detector recently re-absorbed answers our
+	// probe after a severed link: both sides completed work the other never
+	// heard about, so pull the Full-root subtree to catch up — the same
+	// bootstrap a brand-new joiner does.
+	if !inc.welcomed || inc.core.Table().Len() == 0 || inc.det.rejoining(from) {
 		inc.welcomed = true
 		inc.core.Bootstrap(protocol.NodeID(from))
 	}

@@ -141,7 +141,7 @@ func (inc *incarnation) syncInstances() {
 			continue
 		}
 		exp := sp.newExp()
-		core := cl.newCore(inc.n, exp, sp.id)
+		core := cl.newCore(inc, exp, sp.id)
 		// Anchor the remote-activity clock: a fresh empty table means "this
 		// node knows nothing yet", not "the instance is quiet" — without the
 		// anchor the recovery path could adopt the complement of an empty

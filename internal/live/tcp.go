@@ -2,13 +2,16 @@ package live
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"gossipbnb/internal/nemesis"
 	"gossipbnb/internal/protocol"
 )
 
@@ -23,11 +26,12 @@ type TCPNetwork struct {
 	inboxes map[NodeID]chan Envelope
 	conns   map[[2]NodeID]*tcpConn // (from, to) -> outbound connection
 	crashed map[NodeID]bool
-	backoff map[NodeID]*dialBackoff // per destination: failed-dial suppression
+	excl    map[[2]NodeID]bool       // failure-detector link suppression
+	backoff map[NodeID]*dialBackoff  // per destination: failed-dial suppression
+	timers  map[*time.Timer]struct{} // nemesis-delayed sends in flight
+	nem     *nemesis.Schedule
 	closed  bool
-	sent    int64
-	dropped int64
-	bytes   int64
+	stats   NetStats
 	dials   int64
 	kinds   KindStats
 	wg      sync.WaitGroup
@@ -64,7 +68,9 @@ func NewTCPNetwork(n int) (*TCPNetwork, error) {
 		inboxes: map[NodeID]chan Envelope{},
 		conns:   map[[2]NodeID]*tcpConn{},
 		crashed: map[NodeID]bool{},
+		excl:    map[[2]NodeID]bool{},
 		backoff: map[NodeID]*dialBackoff{},
+		timers:  map[*time.Timer]struct{}{},
 	}
 	for i := 0; i < n; i++ {
 		id := NodeID(i)
@@ -216,7 +222,34 @@ func (t *TCPNetwork) Crashed(id NodeID) bool {
 func (t *TCPNetwork) Stats() (sent, dropped, bytes int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.sent, t.dropped, t.bytes
+	return t.stats.Sent, t.stats.Dropped, t.stats.Bytes
+}
+
+// NetStats implements Net.
+func (t *TCPNetwork) NetStats() NetStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// SetNemesis attaches a fault-injection schedule: every send is judged
+// against it, and cut, delayed, or byte-corrupted accordingly. Call it
+// before the cluster starts sending.
+func (t *TCPNetwork) SetNemesis(s *nemesis.Schedule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nem = s
+}
+
+// Exclude implements Net: failure-detector suppression of one directed link.
+func (t *TCPNetwork) Exclude(from, to NodeID, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if down {
+		t.excl[[2]NodeID{from, to}] = true
+	} else {
+		delete(t.excl, [2]NodeID{from, to})
+	}
 }
 
 // ByKind implements Net.
@@ -244,7 +277,17 @@ func (t *TCPNetwork) Close() {
 		conns = append(conns, c)
 	}
 	t.conns = map[[2]NodeID]*tcpConn{}
+	pending := make([]*time.Timer, 0, len(t.timers))
+	for tm := range t.timers {
+		pending = append(pending, tm)
+	}
+	t.timers = map[*time.Timer]struct{}{}
 	t.mu.Unlock()
+	for _, tm := range pending {
+		if tm.Stop() {
+			t.drop(&t.stats.Closed)
+		}
+	}
 	for _, ln := range lns {
 		ln.Close()
 	}
@@ -268,7 +311,11 @@ func (t *TCPNetwork) acceptLoop(id NodeID, ln net.Listener) {
 	}
 }
 
-// readLoop decodes frames from one inbound connection into the inbox.
+// readLoop decodes frames from one inbound connection into the inbox. A
+// frame that fails its CRC (or decodes to garbage despite passing it) is
+// counted and skipped — the stream stays synchronized via the length prefix,
+// so one bad frame must not kill the connection. Only stream-level failures
+// (EOF, a corrupt length prefix) end the loop.
 func (t *TCPNetwork) readLoop(to NodeID, conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
@@ -278,6 +325,10 @@ func (t *TCPNetwork) readLoop(to NodeID, conn net.Conn) {
 		var err error
 		env, scratch, err = readFrameInto(conn, scratch)
 		if err != nil {
+			if errors.Is(err, errCorruptFrame) {
+				t.drop(&t.stats.Corrupt)
+				continue
+			}
 			return
 		}
 		t.mu.Lock()
@@ -285,28 +336,78 @@ func (t *TCPNetwork) readLoop(to NodeID, conn net.Conn) {
 		ch := t.inboxes[to]
 		t.mu.Unlock()
 		if dead {
-			t.drop() // decoded but the receiver died: the message vanished
+			t.drop(&t.stats.ToDead) // decoded but the receiver died
 			return
 		}
 		select {
 		case ch <- env:
 		default: // inbox overflow: drop, like a congested receiver
-			t.drop()
+			t.drop(&t.stats.Congested)
 		}
 	}
 }
 
 // Send implements Net: marshal and write one frame, dialing on demand. Any
-// error drops the message silently — the asynchronous model allows loss.
+// error drops the message silently — the asynchronous model allows loss. A
+// nemesis schedule may additionally cut the link, hold the frame back, or
+// flip bytes in it (which the receiver's frame CRC then catches).
 func (t *TCPNetwork) Send(from, to NodeID, msg Message) {
 	t.mu.Lock()
 	if t.closed || t.crashed[from] || t.crashed[to] {
 		t.mu.Unlock()
 		return
 	}
-	t.sent++
-	t.bytes += int64(msg.Size())
+	t.stats.Sent++
+	t.stats.Bytes += int64(msg.Size())
 	t.kinds.note(msgKind(msg), msg.Size())
+	if t.excl[[2]NodeID{from, to}] && !joinExempt(msg) {
+		// The local failure detector excluded this destination; only the
+		// Hello/Welcome re-announcement path stays open.
+		t.dropLocked(&t.stats.Suspect)
+		t.mu.Unlock()
+		return
+	}
+	verdict := t.nem.JudgeNow(int(from), int(to))
+	if verdict.Cut {
+		t.dropLocked(&t.stats.Cut)
+		t.mu.Unlock()
+		return
+	}
+	corrupt := verdict.Corrupt > 0 && rand.Float64() < verdict.Corrupt
+	if verdict.Delay > 0 {
+		// Hold the frame back: the write happens when the timer fires. The
+		// verdict is not re-judged then — this message already took its
+		// sentence — but crash/close state is.
+		var tm *time.Timer
+		tm = time.AfterFunc(verdict.Delay, func() {
+			t.mu.Lock()
+			delete(t.timers, tm)
+			if t.closed {
+				t.dropLocked(&t.stats.Closed)
+				t.mu.Unlock()
+				return
+			}
+			t.mu.Unlock()
+			t.sendFrame(from, to, msg, corrupt)
+		})
+		t.timers[tm] = struct{}{}
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	t.sendFrame(from, to, msg, corrupt)
+}
+
+// sendFrame performs the dial-on-demand connection lookup and frame write.
+// corrupt flips one byte of the encoded frame past the length prefix, so the
+// receiver stays stream-synchronized but its CRC check must reject the frame.
+func (t *TCPNetwork) sendFrame(from, to NodeID, msg Message, corrupt bool) {
+	t.mu.Lock()
+	if t.closed || t.crashed[from] || t.crashed[to] {
+		t.dropLocked(&t.stats.ToDead)
+		t.mu.Unlock()
+		return
+	}
 	key := [2]NodeID{from, to}
 	c := t.conns[key]
 	addr := t.addrs[to]
@@ -314,13 +415,13 @@ func (t *TCPNetwork) Send(from, to NodeID, msg Message) {
 
 	if c == nil {
 		if addr == "" || !t.dialGate(to) {
-			t.drop() // destination unknown, or inside a backoff window
+			t.drop(&t.stats.Unrouted) // destination unknown, or inside a backoff window
 			return
 		}
 		conn, err := net.Dial("tcp", addr)
 		t.noteDialResult(to, err == nil)
 		if err != nil {
-			t.drop()
+			t.drop(&t.stats.Unrouted)
 			return
 		}
 		c = &tcpConn{c: conn}
@@ -333,7 +434,7 @@ func (t *TCPNetwork) Send(from, to NodeID, msg Message) {
 		} else if t.closed || t.crashed[to] {
 			t.mu.Unlock()
 			conn.Close()
-			t.drop()
+			t.drop(&t.stats.ToDead)
 			return
 		} else {
 			t.conns[key] = c
@@ -346,15 +447,21 @@ func (t *TCPNetwork) Send(from, to NodeID, msg Message) {
 	c.buf = frame
 	var werr error
 	if err == nil {
+		if corrupt && len(frame) > 4 {
+			// Damage the body or trailer, never the length prefix: a wrong
+			// length would desynchronize the stream, which is a connection
+			// failure, not a frame failure.
+			frame[4+rand.Intn(len(frame)-4)] ^= 0x40
+		}
 		_, werr = c.c.Write(frame)
 	}
 	c.mu.Unlock()
 	if err != nil {
-		t.drop()
+		t.drop(&t.stats.Unrouted) // unmarshalable message: nothing reached the wire
 		return
 	}
 	if werr != nil {
-		t.drop()
+		t.drop(&t.stats.ToDead)
 		t.mu.Lock()
 		if t.conns[key] == c {
 			delete(t.conns, key)
@@ -410,30 +517,50 @@ func (t *TCPNetwork) DialStats() int64 {
 	return t.dials
 }
 
-func (t *TCPNetwork) drop() {
+// drop counts one vanished message under the given cause; dropLocked is the
+// same with t.mu already held.
+func (t *TCPNetwork) drop(cause *int64) {
 	t.mu.Lock()
-	t.dropped++
+	t.dropLocked(cause)
 	t.mu.Unlock()
+}
+
+func (t *TCPNetwork) dropLocked(cause *int64) {
+	t.stats.Dropped++
+	*cause++
 }
 
 // --- wire format ---------------------------------------------------------------
 //
-// frame := u32(len) body            (len = length of body)
+// frame := u32(len) body u32(crc)   (len = length of body)
 // body  := uvarint(from) msg        (msg = the canonical protocol codec)
+// crc   := CRC32-C over len prefix and body
 //
 // The message payload is encoded and decoded by internal/protocol — the one
 // codec shared with every other transport — so the frame adds only what TCP
-// itself needs: a length prefix for the stream and the sender identity the
-// socket does not carry.
+// itself needs: a length prefix for the stream, the sender identity the
+// socket does not carry, and an integrity check so a damaged frame is
+// rejected instead of fed to the decoder. Because the CRC trails a frame of
+// known length, a body-level corruption never desynchronizes the stream:
+// the reader skips the bad frame and keeps going. Only a corrupted length
+// prefix — which the CRC detects but cannot repair — forces the connection
+// down, and the regular dial-on-demand path then re-establishes it.
 
 // maxFrame bounds a frame body; far above any real table push, it only
 // guards against corrupt length prefixes.
 const maxFrame = 16 << 20
 
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errCorruptFrame marks a frame-local integrity failure: the stream is still
+// synchronized, so the reader may skip the frame and continue.
+var errCorruptFrame = errors.New("live: corrupt frame")
+
 // appendFrame marshals one message as a frame appended to dst, reserving the
 // length prefix up front and patching it afterwards so the body is encoded
 // in place — one buffer, reusable by the caller, instead of a fresh body
-// allocation per send.
+// allocation per send. The trailing CRC32-C covers the prefix and body.
 func appendFrame(dst []byte, from NodeID, msg Message) ([]byte, error) {
 	pm, ok := msg.(protocol.Msg)
 	if !ok {
@@ -447,7 +574,8 @@ func appendFrame(dst []byte, from NodeID, msg Message) ([]byte, error) {
 		return dst[:start], fmt.Errorf("live: %w", err)
 	}
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
-	return dst, nil
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum), nil
 }
 
 // readFrame reads and unmarshals one frame.
@@ -458,7 +586,10 @@ func readFrame(r io.Reader) (Envelope, error) {
 
 // readFrameInto is readFrame with a reusable body scratch: it returns the
 // (possibly grown) scratch so a read loop keeps one buffer per connection.
-// The decoded Envelope shares no storage with the scratch.
+// The decoded Envelope shares no storage with the scratch. Integrity
+// failures confined to one frame — a CRC mismatch, or a payload that passed
+// the CRC yet fails to decode — return errCorruptFrame (wrapped), leaving
+// the stream positioned at the next frame.
 func readFrameInto(r io.Reader, scratch []byte) (Envelope, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -468,23 +599,29 @@ func readFrameInto(r io.Reader, scratch []byte) (Envelope, []byte, error) {
 	if n == 0 || n > maxFrame {
 		return Envelope{}, scratch, fmt.Errorf("live: bad frame length %d", n)
 	}
-	if uint32(cap(scratch)) < n {
-		scratch = make([]byte, n)
+	if uint32(cap(scratch)) < n+4 {
+		scratch = make([]byte, n+4)
 	}
-	body := scratch[:n]
+	body := scratch[:n+4] // body plus the CRC trailer
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Envelope{}, scratch, err
 	}
+	wantSum := binary.LittleEndian.Uint32(body[n:])
+	body = body[:n]
+	sum := crc32.Update(crc32.Checksum(lenBuf[:], castagnoli), castagnoli, body)
+	if sum != wantSum {
+		return Envelope{}, scratch, fmt.Errorf("%w: crc %#x, want %#x", errCorruptFrame, sum, wantSum)
+	}
 	from, k := binary.Uvarint(body)
 	if k <= 0 {
-		return Envelope{}, scratch, fmt.Errorf("live: bad frame sender")
+		return Envelope{}, scratch, fmt.Errorf("%w: bad frame sender", errCorruptFrame)
 	}
 	inst, m, used, err := protocol.DecodeInstance(body[k:])
 	if err != nil {
-		return Envelope{}, scratch, fmt.Errorf("live: frame payload: %w", err)
+		return Envelope{}, scratch, fmt.Errorf("%w: frame payload: %v", errCorruptFrame, err)
 	}
 	if k+used != len(body) {
-		return Envelope{}, scratch, fmt.Errorf("live: %d trailing bytes in frame", len(body)-k-used)
+		return Envelope{}, scratch, fmt.Errorf("%w: %d trailing bytes in frame", errCorruptFrame, len(body)-k-used)
 	}
 	var msg Message = m
 	if inst != 0 {

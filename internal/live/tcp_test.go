@@ -2,6 +2,7 @@ package live
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -96,6 +97,35 @@ func TestFrameRejectsGarbage(t *testing.T) {
 	}
 	if _, err := appendFrame(nil, 1, nil); err == nil {
 		t.Error("nil message marshalled")
+	}
+}
+
+// TestFrameCRCRejectsEveryByteFlip fuzzes the CRC trailer: any single-byte
+// damage past the length prefix — sender, payload, or the checksum itself —
+// must be rejected, and always as a frame-local (recoverable) error, never
+// one that would kill the connection.
+func TestFrameCRCRejectsEveryByteFlip(t *testing.T) {
+	frame, err := appendFrame(nil, 3, protocol.Report{
+		Codes: []code.Code{code.Root(), code.Root().Child(1, 0)}, Incumbent: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x40
+		_, err := readFrame(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+		if !errors.Is(err, errCorruptFrame) {
+			t.Errorf("flip at byte %d is not frame-local: %v", i, err)
+		}
+	}
+	// The undamaged frame still reads back, ruling out a test that passes
+	// because everything is rejected.
+	if _, err := readFrame(bytes.NewReader(frame)); err != nil {
+		t.Fatalf("clean frame rejected: %v", err)
 	}
 }
 

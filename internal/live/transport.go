@@ -11,6 +11,9 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"gossipbnb/internal/nemesis"
+	"gossipbnb/internal/protocol"
 )
 
 // NodeID identifies a live node.
@@ -52,12 +55,51 @@ type Net interface {
 	Crash(id NodeID)
 	// Crashed reports whether id halted.
 	Crashed(id NodeID) bool
+	// Exclude sets or clears failure-detector suppression of the directed
+	// link from → to: while set, sends on it drop (counted under the
+	// NetStats Suspect cause) — except Hello and Welcome, the §5.2
+	// re-announcement path a falsely-excluded peer needs to get back in.
+	Exclude(from, to NodeID, down bool)
 	// Stats returns (messages sent, messages dropped, payload bytes).
 	Stats() (sent, dropped, bytes int64)
+	// NetStats returns the full traffic ledger with per-cause drop counts.
+	NetStats() NetStats
 	// ByKind returns the per-message-kind traffic breakdown.
 	ByKind() KindStats
 	// Close releases transport resources after the run.
 	Close()
+}
+
+// NetStats is the structured traffic ledger of a live transport. Dropped is
+// the total; the cause counters below it partition that total, mirroring the
+// simulator's NetStats so figures can compare runtimes column for column.
+type NetStats struct {
+	Sent    int64
+	Dropped int64
+	Bytes   int64 // payload bytes of sent messages
+
+	// Why dropped messages vanished:
+	Lost      int64 // injected uniform loss model
+	Cut       int64 // severed by a nemesis fault (partition, stall, flap)
+	Suspect   int64 // suppressed: destination excluded by the failure detector
+	Corrupt   int64 // destroyed in transit; on TCP, rejected by the frame CRC
+	ToDead    int64 // receiver crashed or was replaced while in flight
+	Congested int64 // receiver inbox overflow
+	Unrouted  int64 // no endpoint, no known address, or dial failed
+	Closed    int64 // transport torn down with the message in flight
+
+	// Chaos-model injections (extra or delayed deliveries, not drops):
+	Duplicated int64
+	Reordered  int64
+	Replayed   int64
+}
+
+// joinExempt reports whether msg belongs to the Hello/Welcome join
+// handshake, which failure-detector link exclusion must never suppress: it
+// is the one path a falsely-suspected peer can re-announce through.
+func joinExempt(msg Message) bool {
+	k := msgKind(msg)
+	return k == protocol.KindHello || k == protocol.KindWelcome
 }
 
 // MsgKinds bounds the dense per-kind accounting arrays — the protocol
@@ -133,20 +175,16 @@ type Transport struct {
 	mu      sync.Mutex
 	inboxes map[NodeID]chan Envelope
 	crashed map[NodeID]bool
+	excl    map[[2]NodeID]bool       // failure-detector link suppression
 	timers  map[*time.Timer]struct{} // in-flight delayed deliveries
 	closed  bool
 	rng     *rand.Rand
 	delay   func(bytes int) time.Duration
 	loss    float64
 	chaos   Chaos
-	sent    int64
-	dropped int64
-	bytes   int64
+	nem     *nemesis.Schedule
+	stats   NetStats
 	kinds   KindStats
-	// Chaos tallies, for tests and diagnostics.
-	duplicated int64
-	reordered  int64
-	replayed   int64
 }
 
 // NewTransport creates a transport. delay maps message size to one-way
@@ -155,6 +193,7 @@ func NewTransport(seed int64, delay func(bytes int) time.Duration, loss float64)
 	return &Transport{
 		inboxes: map[NodeID]chan Envelope{},
 		crashed: map[NodeID]bool{},
+		excl:    map[[2]NodeID]bool{},
 		timers:  map[*time.Timer]struct{}{},
 		rng:     rand.New(rand.NewSource(seed)),
 		delay:   delay,
@@ -224,7 +263,27 @@ func (t *Transport) SetChaos(c Chaos) {
 func (t *Transport) ChaosStats() (duplicated, reordered, replayed int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.duplicated, t.reordered, t.replayed
+	return t.stats.Duplicated, t.stats.Reordered, t.stats.Replayed
+}
+
+// SetNemesis attaches a fault-injection schedule: every send is judged
+// against it, and cut, delayed, or corrupted accordingly. Call it before the
+// cluster starts sending.
+func (t *Transport) SetNemesis(s *nemesis.Schedule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nem = s
+}
+
+// Exclude implements Net: failure-detector suppression of one directed link.
+func (t *Transport) Exclude(from, to NodeID, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if down {
+		t.excl[[2]NodeID{from, to}] = true
+	} else {
+		delete(t.excl, [2]NodeID{from, to})
+	}
 }
 
 // Crash marks id as halted: messages to and from it vanish.
@@ -253,23 +312,45 @@ func (t *Transport) Send(from, to NodeID, msg Message) {
 		t.mu.Unlock()
 		return
 	}
-	t.sent++
-	t.bytes += int64(msg.Size())
+	t.stats.Sent++
+	t.stats.Bytes += int64(msg.Size())
 	t.kinds.note(msgKind(msg), msg.Size())
+	if t.excl[[2]NodeID{from, to}] && !joinExempt(msg) {
+		// The local failure detector excluded this destination; only the
+		// Hello/Welcome re-announcement path stays open.
+		t.dropLocked(&t.stats.Suspect)
+		t.mu.Unlock()
+		return
+	}
+	// Judging is lock-free in the schedule, so it can run under t.mu.
+	verdict := t.nem.JudgeNow(int(from), int(to))
+	if verdict.Cut {
+		t.dropLocked(&t.stats.Cut)
+		t.mu.Unlock()
+		return
+	}
 	if t.loss > 0 && t.rng.Float64() < t.loss {
-		t.dropped++
+		t.dropLocked(&t.stats.Lost)
 		t.mu.Unlock()
 		return
 	}
 	ch := t.inboxes[to]
 	if ch == nil {
-		t.dropped++ // unregistered destination: the message vanishes
+		t.dropLocked(&t.stats.Unrouted) // unregistered destination
 		t.mu.Unlock()
 		return
 	}
-	var d time.Duration
+	if verdict.Corrupt > 0 && t.rng.Float64() < verdict.Corrupt {
+		// The in-memory transport has no frames to damage, so an injected
+		// corruption behaves as its TCP outcome would: the message dies in
+		// transit and the corruption is counted.
+		t.dropLocked(&t.stats.Corrupt)
+		t.mu.Unlock()
+		return
+	}
+	d := verdict.Delay
 	if t.delay != nil {
-		d = t.delay(msg.Size())
+		d += t.delay(msg.Size())
 	}
 	var scratch [3]time.Duration
 	copies := scratch[:0]
@@ -277,17 +358,17 @@ func (t *Transport) Send(from, to NodeID, msg Message) {
 	if t.chaos.Reorder > 0 && t.rng.Float64() < t.chaos.Reorder {
 		// Held back: messages sent after this one can overtake it.
 		first += time.Duration(t.rng.Float64() * float64(t.chaos.ReorderWindow))
-		t.reordered++
+		t.stats.Reordered++
 	}
 	copies = append(copies, first)
 	if t.chaos.Duplicate > 0 && t.rng.Float64() < t.chaos.Duplicate {
 		copies = append(copies, d)
-		t.duplicated++
+		t.stats.Duplicated++
 	}
 	if t.chaos.Replay > 0 && t.rng.Float64() < t.chaos.Replay {
 		// A stale copy from the past surfaces long after both ends moved on.
 		copies = append(copies, t.chaos.ReplayDelay+time.Duration(t.rng.Float64()*float64(t.chaos.ReplayDelay)))
-		t.replayed++
+		t.stats.Replayed++
 	}
 	env := Envelope{From: from, Msg: msg}
 	immediate := 0
@@ -312,12 +393,12 @@ func (t *Transport) scheduleLocked(ch chan Envelope, env Envelope, to NodeID, d 
 	tm = time.AfterFunc(d, func() {
 		t.mu.Lock()
 		delete(t.timers, tm)
-		closed := t.closed
-		t.mu.Unlock()
-		if closed {
-			t.drop() // torn down mid-flight; Close lost the Stop race
+		if t.closed {
+			t.dropLocked(&t.stats.Closed) // torn down; Close lost the Stop race
+			t.mu.Unlock()
 			return
 		}
+		t.mu.Unlock()
 		t.deliver(ch, env, to)
 	})
 	t.timers[tm] = struct{}{}
@@ -331,27 +412,41 @@ func (t *Transport) deliver(ch chan Envelope, env Envelope, to NodeID) {
 	stale := t.crashed[to] || t.inboxes[to] != ch
 	t.mu.Unlock()
 	if stale {
-		t.drop()
+		t.drop(&t.stats.ToDead)
 		return
 	}
 	select {
 	case ch <- env:
 	default:
-		t.drop() // inbox overflow: drop, like a congested link
+		t.drop(&t.stats.Congested) // inbox overflow: a congested receiver
 	}
 }
 
-func (t *Transport) drop() {
+// drop counts one vanished message under the given cause; dropLocked is the
+// same with t.mu already held.
+func (t *Transport) drop(cause *int64) {
 	t.mu.Lock()
-	t.dropped++
+	t.dropLocked(cause)
 	t.mu.Unlock()
+}
+
+func (t *Transport) dropLocked(cause *int64) {
+	t.stats.Dropped++
+	*cause++
 }
 
 // Stats returns (messages sent, messages dropped, payload bytes).
 func (t *Transport) Stats() (sent, dropped, bytes int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.sent, t.dropped, t.bytes
+	return t.stats.Sent, t.stats.Dropped, t.stats.Bytes
+}
+
+// NetStats implements Net.
+func (t *Transport) NetStats() NetStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
 }
 
 // ByKind implements Net.
@@ -380,7 +475,7 @@ func (t *Transport) Close() {
 	t.mu.Unlock()
 	for _, tm := range pending {
 		if tm.Stop() {
-			t.drop()
+			t.drop(&t.stats.Closed)
 		}
 	}
 }

@@ -212,5 +212,29 @@ func (m *Multi) AggregateBreakdown() Breakdown {
 	return b
 }
 
+// NetHealth aggregates what the self-healing layer observed during a run:
+// transport integrity rejections, injected-fault casualties, and the failure
+// detector's state transitions. Exclusions minus Reabsorbed that concern
+// still-live nodes is the detector's false-positive cost — time lost, never
+// correctness (§4's model already tolerates every drop counted here).
+type NetHealth struct {
+	CorruptFrames int64 // frames rejected by the transport CRC (or destroyed in transit)
+	CutMessages   int64 // messages severed by injected partitions/stalls/flaps
+	SuspectDrops  int64 // sends suppressed toward locally excluded peers
+	Suspicions    int64 // alive → suspect transitions across all detectors
+	Exclusions    int64 // suspect → excluded transitions across all detectors
+	Reabsorbed    int64 // excluded peers readmitted after re-announcing
+}
+
+// Merge adds o into h.
+func (h *NetHealth) Merge(o NetHealth) {
+	h.CorruptFrames += o.CorruptFrames
+	h.CutMessages += o.CutMessages
+	h.SuspectDrops += o.SuspectDrops
+	h.Suspicions += o.Suspicions
+	h.Exclusions += o.Exclusions
+	h.Reabsorbed += o.Reabsorbed
+}
+
 // MB converts bytes to megabytes (10^6, as the paper reports).
 func MB(bytes int64) float64 { return float64(bytes) / 1e6 }

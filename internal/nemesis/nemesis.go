@@ -1,0 +1,445 @@
+// Package nemesis is a declarative fault-injection schedule for the live
+// transports and the simulator CLI. A scenario is a list of Faults, each a
+// network misbehaviour active over a time window; a Schedule judges every
+// directed link at every instant and returns a Verdict — cut, delayed,
+// and/or corrupted — that a transport applies to the message in flight.
+//
+// The grammar is runtime-neutral: the live runtime arms a Schedule against
+// the wall clock, the simulator maps the subset of faults it can express
+// onto virtual-time partitions. Faults compose: a link may be simultaneously
+// slowed by one fault and flapped by another.
+package nemesis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the fault types.
+type Kind int
+
+const (
+	// Partition cuts every link between group A and group B (both
+	// directions). An empty B means "everyone not in A".
+	Partition Kind = iota
+	// OneWay cuts only messages from group A to group B — the asymmetric
+	// partition where B still reaches A but never hears back.
+	OneWay
+	// Flap toggles the single link A[0]–B[0] down and up with a fixed
+	// period (down during the first half of each period).
+	Flap
+	// Stall cuts all traffic to and from the nodes in A — the network view
+	// of a frozen process.
+	Stall
+	// Slow adds a fixed delay to every message on the link A[0]–B[0]
+	// (both directions).
+	Slow
+	// Corrupt flips bytes in transit with the given per-message
+	// probability, on every link. The CRC layer must catch these.
+	Corrupt
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Partition:
+		return "partition"
+	case OneWay:
+		return "oneway"
+	case Flap:
+		return "flap"
+	case Stall:
+		return "stall"
+	case Slow:
+		return "slow"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled network misbehaviour. Start/End bound its active
+// window ([Start, End), End 0 = open-ended); the remaining fields depend on
+// Kind as documented on the Kind constants.
+type Fault struct {
+	Kind   Kind
+	Start  time.Duration
+	End    time.Duration // 0 = until the run ends
+	A, B   []int         // node groups (single-element for link faults)
+	Period time.Duration // Flap
+	Delay  time.Duration // Slow
+	Prob   float64       // Corrupt
+}
+
+// active reports whether the fault's window covers instant t.
+func (f Fault) active(t time.Duration) bool {
+	return t >= f.Start && (f.End == 0 || t < f.End)
+}
+
+func in(g []int, id int) bool {
+	for _, v := range g {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// hits reports whether the fault, active at t, affects the directed link
+// from → to, plus the flap phase test.
+func (f Fault) hits(from, to int, t time.Duration) bool {
+	switch f.Kind {
+	case Partition:
+		if len(f.B) == 0 {
+			return in(f.A, from) != in(f.A, to)
+		}
+		return (in(f.A, from) && in(f.B, to)) || (in(f.B, from) && in(f.A, to))
+	case OneWay:
+		return in(f.A, from) && in(f.B, to)
+	case Flap:
+		if !f.link(from, to) || f.Period <= 0 {
+			return false
+		}
+		phase := (t - f.Start) % f.Period
+		return phase < f.Period/2
+	case Stall:
+		return in(f.A, from) || in(f.A, to)
+	case Slow, Corrupt:
+		// handled by Verdict accumulation, not a cut
+	}
+	return false
+}
+
+// link reports whether (from, to) is the undirected link A[0]–B[0].
+func (f Fault) link(from, to int) bool {
+	if len(f.A) != 1 || len(f.B) != 1 {
+		return false
+	}
+	return (f.A[0] == from && f.B[0] == to) || (f.B[0] == from && f.A[0] == to)
+}
+
+// String renders the fault back in the scenario grammar.
+func (f Fault) String() string {
+	win := fmtDur(f.Start) + "-"
+	if f.End != 0 {
+		win += fmtDur(f.End)
+	}
+	g := func(ids []int) string {
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = strconv.Itoa(id)
+		}
+		return strings.Join(parts, ",")
+	}
+	switch f.Kind {
+	case Partition:
+		s := fmt.Sprintf("partition:%s:%s", win, g(f.A))
+		if len(f.B) > 0 {
+			s += "|" + g(f.B)
+		}
+		return s
+	case OneWay:
+		return fmt.Sprintf("oneway:%s:%s|%s", win, g(f.A), g(f.B))
+	case Flap:
+		return fmt.Sprintf("flap:%d-%d:%s:%s", f.A[0], f.B[0], fmtDur(f.Period), win)
+	case Stall:
+		return fmt.Sprintf("stall:%s:%s", g(f.A), win)
+	case Slow:
+		return fmt.Sprintf("slow:%d-%d:%s:%s", f.A[0], f.B[0], fmtDur(f.Delay), win)
+	case Corrupt:
+		return fmt.Sprintf("corrupt:%g:%s", f.Prob, win)
+	}
+	return "unknown"
+}
+
+func fmtDur(d time.Duration) string {
+	if d == d.Truncate(time.Second) {
+		return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+	}
+	return d.String()
+}
+
+// Verdict is a Schedule's judgement of one message on one directed link at
+// one instant. Zero value = deliver normally.
+type Verdict struct {
+	Cut     bool
+	Delay   time.Duration // extra latency to add before delivery
+	Corrupt float64       // probability the frame should be corrupted
+}
+
+// Schedule holds a scenario's faults and judges links against them. The
+// zero time origin is set by Arm (or lazily by the first JudgeNow call), so
+// fault windows are relative to the start of the run, not process start.
+type Schedule struct {
+	faults []Fault
+	t0     atomic.Int64 // wall-clock origin, unix nanos; 0 = not armed
+}
+
+// New builds a schedule over the given faults.
+func New(faults ...Fault) *Schedule {
+	return &Schedule{faults: faults}
+}
+
+// Faults returns the scenario (shared slice; treat as read-only).
+func (s *Schedule) Faults() []Fault { return s.faults }
+
+// Arm fixes the schedule's time origin. Calling Arm again re-bases the
+// windows — useful when one Schedule value is reused across runs.
+func (s *Schedule) Arm(t0 time.Time) { s.t0.Store(t0.UnixNano()) }
+
+// At is the pure judgement: the verdict for a message from → to at instant
+// t after the origin. Deterministic and lock-free, so tests can table-drive
+// it and the simulator can call it with virtual time.
+func (s *Schedule) At(from, to int, t time.Duration) Verdict {
+	var v Verdict
+	if s == nil {
+		return v
+	}
+	for _, f := range s.faults {
+		if !f.active(t) {
+			continue
+		}
+		switch f.Kind {
+		case Slow:
+			if f.link(from, to) {
+				v.Delay += f.Delay
+			}
+		case Corrupt:
+			v.Corrupt = 1 - (1-v.Corrupt)*(1-f.Prob)
+		default:
+			if f.hits(from, to, t) {
+				v.Cut = true
+			}
+		}
+	}
+	return v
+}
+
+// JudgeNow judges a message from → to at the current wall-clock instant,
+// arming the schedule at first use if Arm was never called.
+func (s *Schedule) JudgeNow(from, to int) Verdict {
+	if s == nil || len(s.faults) == 0 {
+		return Verdict{}
+	}
+	t0 := s.t0.Load()
+	if t0 == 0 {
+		s.t0.CompareAndSwap(0, time.Now().UnixNano())
+		t0 = s.t0.Load()
+	}
+	return s.At(from, to, time.Duration(time.Now().UnixNano()-t0))
+}
+
+// Horizon returns the latest window end across all faults (0 if any fault
+// is open-ended or the schedule is empty) — callers use it to size run
+// timeouts.
+func (s *Schedule) Horizon() time.Duration {
+	if s == nil {
+		return 0
+	}
+	var h time.Duration
+	for _, f := range s.faults {
+		if f.End == 0 {
+			return 0
+		}
+		if f.End > h {
+			h = f.End
+		}
+	}
+	return h
+}
+
+// Parse reads one fault in the scenario grammar:
+//
+//	partition:T1-T2:a[|b]    cut group a from group b (b defaults to rest)
+//	oneway:T1-T2:a|b         cut only the a → b direction
+//	flap:A-B:PERIOD[:T1-T2]  link A–B toggles down/up each PERIOD
+//	stall:a:T1-T2            nodes in a drop all traffic, both directions
+//	slow:A-B:DELAY[:T1-T2]   add DELAY to each message on link A–B
+//	corrupt:P[:T1-T2]        corrupt frames with probability P, all links
+//
+// Durations accept Go syntax ("750ms") or bare seconds ("1.5"); windows are
+// "start-end" with an optional open end ("2-"). Groups are comma-separated
+// node IDs; "|" separates two sides.
+func Parse(s string) (Fault, error) {
+	parts := strings.Split(s, ":")
+	bad := func(why string) (Fault, error) {
+		return Fault{}, fmt.Errorf("nemesis: %q: %s", s, why)
+	}
+	if len(parts) < 2 {
+		return bad("want kind:args")
+	}
+	switch parts[0] {
+	case "partition", "oneway":
+		if len(parts) != 3 {
+			return bad("want " + parts[0] + ":T1-T2:a|b")
+		}
+		f := Fault{Kind: Partition}
+		if parts[0] == "oneway" {
+			f.Kind = OneWay
+		}
+		var err error
+		if f.Start, f.End, err = parseWindow(parts[1]); err != nil {
+			return bad(err.Error())
+		}
+		sides := strings.Split(parts[2], "|")
+		if f.A, err = parseGroup(sides[0]); err != nil {
+			return bad(err.Error())
+		}
+		if len(sides) > 2 {
+			return bad("more than two sides")
+		}
+		if len(sides) == 2 {
+			if f.B, err = parseGroup(sides[1]); err != nil {
+				return bad(err.Error())
+			}
+		}
+		if f.Kind == OneWay && len(f.B) == 0 {
+			return bad("oneway needs both sides: a|b")
+		}
+		return f, nil
+	case "flap", "slow":
+		if len(parts) != 3 && len(parts) != 4 {
+			return bad("want " + parts[0] + ":A-B:arg[:T1-T2]")
+		}
+		f := Fault{Kind: Flap}
+		if parts[0] == "slow" {
+			f.Kind = Slow
+		}
+		a, b, err := parseLink(parts[1])
+		if err != nil {
+			return bad(err.Error())
+		}
+		f.A, f.B = []int{a}, []int{b}
+		d, err := parseDur(parts[2])
+		if err != nil || d <= 0 {
+			return bad("bad duration " + strconv.Quote(parts[2]))
+		}
+		if f.Kind == Flap {
+			f.Period = d
+		} else {
+			f.Delay = d
+		}
+		if len(parts) == 4 {
+			if f.Start, f.End, err = parseWindow(parts[3]); err != nil {
+				return bad(err.Error())
+			}
+		}
+		return f, nil
+	case "stall":
+		if len(parts) != 3 {
+			return bad("want stall:nodes:T1-T2")
+		}
+		f := Fault{Kind: Stall}
+		var err error
+		if f.A, err = parseGroup(parts[1]); err != nil {
+			return bad(err.Error())
+		}
+		if f.Start, f.End, err = parseWindow(parts[2]); err != nil {
+			return bad(err.Error())
+		}
+		return f, nil
+	case "corrupt":
+		if len(parts) != 2 && len(parts) != 3 {
+			return bad("want corrupt:P[:T1-T2]")
+		}
+		p, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return bad("probability must be in [0,1]")
+		}
+		f := Fault{Kind: Corrupt, Prob: p}
+		if len(parts) == 3 {
+			if f.Start, f.End, err = parseWindow(parts[2]); err != nil {
+				return bad(err.Error())
+			}
+		}
+		return f, nil
+	}
+	return bad("unknown fault kind " + strconv.Quote(parts[0]))
+}
+
+// ParseAll parses a whole scenario, one fault per string.
+func ParseAll(specs []string) ([]Fault, error) {
+	fs := make([]Fault, 0, len(specs))
+	for _, s := range specs {
+		f, err := Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	return fs, nil
+}
+
+func parseDur(s string) (time.Duration, error) {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		if f < 0 {
+			return 0, fmt.Errorf("negative duration %q", s)
+		}
+		return time.Duration(f * float64(time.Second)), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return d, nil
+}
+
+// parseWindow reads "start-end", where end may be empty for an open window.
+func parseWindow(s string) (start, end time.Duration, err error) {
+	i := strings.LastIndex(s, "-")
+	if i < 0 {
+		return 0, 0, fmt.Errorf("window %q: want start-end", s)
+	}
+	if start, err = parseDur(s[:i]); err != nil {
+		return 0, 0, fmt.Errorf("window %q: %v", s, err)
+	}
+	if s[i+1:] == "" {
+		return start, 0, nil
+	}
+	if end, err = parseDur(s[i+1:]); err != nil {
+		return 0, 0, fmt.Errorf("window %q: %v", s, err)
+	}
+	if end <= start {
+		return 0, 0, fmt.Errorf("window %q: end before start", s)
+	}
+	return start, end, nil
+}
+
+// parseLink reads "A-B", two distinct node IDs.
+func parseLink(s string) (int, int, error) {
+	i := strings.Index(s, "-")
+	if i < 0 {
+		return 0, 0, fmt.Errorf("link %q: want A-B", s)
+	}
+	a, err1 := strconv.Atoi(s[:i])
+	b, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || a < 0 || b < 0 {
+		return 0, 0, fmt.Errorf("link %q: want two node ids", s)
+	}
+	if a == b {
+		return 0, 0, fmt.Errorf("link %q: self-link", s)
+	}
+	return a, b, nil
+}
+
+// parseGroup reads a comma-separated list of node IDs.
+func parseGroup(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty node group")
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(p)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad node id %q", p)
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}

@@ -1,0 +1,208 @@
+package nemesis
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNemesisParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Fault
+	}{
+		{"partition:1-3:0,1|2,3", Fault{Kind: Partition, Start: time.Second, End: 3 * time.Second,
+			A: []int{0, 1}, B: []int{2, 3}}},
+		{"partition:500ms-2s:2", Fault{Kind: Partition, Start: 500 * time.Millisecond,
+			End: 2 * time.Second, A: []int{2}}},
+		{"partition:2-:0", Fault{Kind: Partition, Start: 2 * time.Second, A: []int{0}}},
+		{"oneway:0-1:0|1,2", Fault{Kind: OneWay, End: time.Second, A: []int{0}, B: []int{1, 2}}},
+		{"flap:0-2:250ms", Fault{Kind: Flap, A: []int{0}, B: []int{2}, Period: 250 * time.Millisecond}},
+		{"flap:0-2:0.5:1-4", Fault{Kind: Flap, A: []int{0}, B: []int{2},
+			Period: 500 * time.Millisecond, Start: time.Second, End: 4 * time.Second}},
+		{"stall:3:1-2", Fault{Kind: Stall, A: []int{3}, Start: time.Second, End: 2 * time.Second}},
+		{"stall:1,2:0-", Fault{Kind: Stall, A: []int{1, 2}}},
+		{"slow:1-3:20ms:0-5", Fault{Kind: Slow, A: []int{1}, B: []int{3},
+			Delay: 20 * time.Millisecond, End: 5 * time.Second}},
+		{"corrupt:0.25", Fault{Kind: Corrupt, Prob: 0.25}},
+		{"corrupt:1:1-2", Fault{Kind: Corrupt, Prob: 1, Start: time.Second, End: 2 * time.Second}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.Kind != c.want.Kind || got.Start != c.want.Start || got.End != c.want.End ||
+			got.Period != c.want.Period || got.Delay != c.want.Delay || got.Prob != c.want.Prob ||
+			!eqGroup(got.A, c.want.A) || !eqGroup(got.B, c.want.B) {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// String must render back to something Parse accepts equivalently.
+		back, err := Parse(got.String())
+		if err != nil {
+			t.Errorf("Parse(String(%q)) = %q: %v", c.in, got.String(), err)
+		} else if back.Kind != got.Kind || !eqGroup(back.A, got.A) {
+			t.Errorf("round trip of %q via %q changed the fault", c.in, got.String())
+		}
+	}
+}
+
+func eqGroup(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNemesisParseRejects(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"partition",
+		"partition:1-2",
+		"partition:2-1:0",     // end before start
+		"partition:1-2:",      // empty group
+		"partition:1-2:a",     // non-numeric id
+		"partition:1-2:0|1|2", // three sides
+		"oneway:1-2:0",        // missing second side
+		"flap:0-0:1",          // self link
+		"flap:0-1:-5ms",       // negative period
+		"flap:0-1:0",          // zero period
+		"slow:0:10ms",         // not a link
+		"stall:0",             // missing window
+		"corrupt:1.5",         // probability out of range
+		"corrupt:-0.1",        // negative probability
+		"meteor:1-2:0",        // unknown kind
+		"partition:x-2:0",     // bad duration
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestNemesisVerdicts(t *testing.T) {
+	sched := New(
+		Fault{Kind: Partition, Start: time.Second, End: 2 * time.Second, A: []int{0, 1}},
+		Fault{Kind: OneWay, Start: 3 * time.Second, End: 4 * time.Second, A: []int{0}, B: []int{1}},
+		Fault{Kind: Slow, A: []int{0}, B: []int{2}, Delay: 10 * time.Millisecond, End: 10 * time.Second},
+		Fault{Kind: Corrupt, Prob: 0.5, Start: 5 * time.Second, End: 6 * time.Second},
+	)
+	at := func(from, to int, sec float64) Verdict {
+		return sched.At(from, to, time.Duration(sec*float64(time.Second)))
+	}
+	// Before the partition window: only the slow link acts.
+	if v := at(0, 2, 0.5); v.Cut || v.Delay != 10*time.Millisecond {
+		t.Errorf("pre-window 0->2 = %+v", v)
+	}
+	// Inside the partition: group {0,1} vs rest, both directions.
+	if !at(0, 2, 1.5).Cut || !at(2, 1, 1.5).Cut {
+		t.Error("partition did not cut group boundary")
+	}
+	if at(0, 1, 1.5).Cut || at(2, 3, 1.5).Cut {
+		t.Error("partition cut inside a side")
+	}
+	// Window end is exclusive.
+	if at(0, 2, 2.0).Cut {
+		t.Error("partition active at its end instant")
+	}
+	// One-way: 0->1 dead, 1->0 alive.
+	if !at(0, 1, 3.5).Cut || at(1, 0, 3.5).Cut {
+		t.Error("oneway verdict wrong")
+	}
+	// Corruption window applies to all links and composes with slow.
+	v := at(0, 2, 5.5)
+	if v.Corrupt != 0.5 || v.Delay != 10*time.Millisecond {
+		t.Errorf("corrupt window verdict = %+v", v)
+	}
+}
+
+func TestNemesisFlapPhases(t *testing.T) {
+	f := Fault{Kind: Flap, A: []int{0}, B: []int{1}, Period: time.Second,
+		Start: time.Second, End: 10 * time.Second}
+	sched := New(f)
+	// Down during the first half of each period, up during the second.
+	for _, c := range []struct {
+		sec  float64
+		down bool
+	}{
+		{0.5, false}, // before window
+		{1.1, true},
+		{1.6, false},
+		{2.2, true},
+		{2.9, false},
+		{10.1, false}, // after window
+	} {
+		v := sched.At(0, 1, time.Duration(c.sec*float64(time.Second)))
+		if v.Cut != c.down {
+			t.Errorf("flap at %.1fs: cut=%v, want %v", c.sec, v.Cut, c.down)
+		}
+		// Symmetric.
+		if w := sched.At(1, 0, time.Duration(c.sec*float64(time.Second))); w.Cut != v.Cut {
+			t.Errorf("flap asymmetric at %.1fs", c.sec)
+		}
+	}
+	// Unrelated link untouched.
+	if sched.At(0, 2, 1100*time.Millisecond).Cut {
+		t.Error("flap cut an unrelated link")
+	}
+}
+
+func TestNemesisStall(t *testing.T) {
+	sched := New(Fault{Kind: Stall, A: []int{2}, Start: 0, End: time.Second})
+	if !sched.At(2, 0, 0).Cut || !sched.At(1, 2, 0).Cut {
+		t.Error("stall did not cut both directions")
+	}
+	if sched.At(0, 1, 0).Cut {
+		t.Error("stall cut an unrelated link")
+	}
+}
+
+func TestNemesisJudgeNowArms(t *testing.T) {
+	// A schedule whose fault starts at 0 must act immediately after the
+	// first JudgeNow call even without an explicit Arm.
+	sched := New(Fault{Kind: Partition, Start: 0, End: time.Hour, A: []int{0}})
+	if !sched.JudgeNow(0, 1).Cut {
+		t.Error("auto-armed schedule did not judge")
+	}
+	// Re-arming in the future pushes a delayed window back out of reach.
+	sched2 := New(Fault{Kind: Partition, Start: time.Hour, End: 2 * time.Hour, A: []int{0}})
+	sched2.Arm(time.Now())
+	if sched2.JudgeNow(0, 1).Cut {
+		t.Error("future window active now")
+	}
+	// A nil schedule judges everything clean.
+	var nilSched *Schedule
+	if v := nilSched.JudgeNow(0, 1); v.Cut || v.Delay != 0 || v.Corrupt != 0 {
+		t.Error("nil schedule not a no-op")
+	}
+}
+
+func TestNemesisHorizon(t *testing.T) {
+	if h := New(
+		Fault{Kind: Partition, Start: 0, End: 2 * time.Second, A: []int{0}},
+		Fault{Kind: Stall, Start: time.Second, End: 5 * time.Second, A: []int{1}},
+	).Horizon(); h != 5*time.Second {
+		t.Errorf("Horizon = %v, want 5s", h)
+	}
+	if h := New(Fault{Kind: Partition, Start: 0, A: []int{0}}).Horizon(); h != 0 {
+		t.Errorf("open-ended Horizon = %v, want 0", h)
+	}
+}
+
+func TestNemesisParseAll(t *testing.T) {
+	fs, err := ParseAll([]string{"partition:1-2:0|1", "corrupt:0.1"})
+	if err != nil || len(fs) != 2 {
+		t.Fatalf("ParseAll = %v, %v", fs, err)
+	}
+	if _, err := ParseAll([]string{"partition:1-2:0|1", "bogus"}); err == nil {
+		t.Error("ParseAll accepted a bad spec")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error does not name the bad spec: %v", err)
+	}
+}

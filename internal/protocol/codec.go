@@ -113,6 +113,8 @@ func Encode(dst []byte, m Msg) ([]byte, error) {
 			dst = binary.AppendUvarint(dst, uint64(len(p.Addr)))
 			dst = append(dst, p.Addr...)
 		}
+	case Ping:
+		put(KindPing, t.Incumbent, t.ActAge)
 	default:
 		return nil, fmt.Errorf("protocol: cannot encode %T", m)
 	}
@@ -316,6 +318,8 @@ func decodeMsg(kind byte, buf []byte, off int) (Msg, int, error) {
 			peers = append(peers, Peer{ID: NodeID(id), Addr: addr})
 		}
 		return Welcome{Peers: peers, Incumbent: incumbent, ActAge: actAge}, off, nil
+	case KindPing:
+		return Ping{Incumbent: incumbent, ActAge: actAge}, off, nil
 	default:
 		return nil, 0, fmt.Errorf("protocol: unknown message kind %d", kind)
 	}

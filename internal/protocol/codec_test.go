@@ -38,6 +38,8 @@ func TestCodecRoundTrip(t *testing.T) {
 		Welcome{Peers: []Peer{{ID: 0, Addr: "10.0.0.1:80"}, {ID: 5}, {ID: 999, Addr: "x"}},
 			Incumbent: -4, ActAge: 6},
 		Welcome{Incumbent: 2},
+		Ping{Incumbent: 3.5, ActAge: 0.25},
+		Ping{},
 	}
 	for _, m := range cases {
 		buf, err := Encode(nil, m)
@@ -178,6 +180,7 @@ func TestCodecInstanceRoundTrip(t *testing.T) {
 		SubtreeReply{Prefix: codes[1], Leaf: true, Rel: codes[2:], Incumbent: 5},
 		Hello{ID: 7, Addr: "127.0.0.1:9021", Incumbent: 1},
 		Welcome{Peers: []Peer{{ID: 0, Addr: "10.0.0.1:80"}}, Incumbent: -4},
+		Ping{Incumbent: 12, ActAge: 0.5},
 	}
 	for _, inst := range []InstanceID{0, 1, 2, 127, 128, 300, math.MaxUint32} {
 		for _, m := range inner {
@@ -294,6 +297,7 @@ func FuzzDecode(f *testing.F) {
 			Kids: [2]ctree.ChildDigest{{Present: true, Digest: 11}}},
 		Hello{ID: 12, Addr: "127.0.0.1:8080", Incumbent: 7},
 		Welcome{Peers: []Peer{{ID: 1, Addr: "a:1"}, {ID: 2}}, ActAge: 3},
+		Ping{Incumbent: 1, ActAge: 2},
 	} {
 		buf, err := Encode(nil, m)
 		if err != nil {

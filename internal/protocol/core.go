@@ -783,6 +783,12 @@ func (c *Core) HandleMessage(from NodeID, m Msg) Effect {
 		c.observeIncumbent(t.Incumbent)
 		c.noteActivity(t.ActAge)
 		c.absorbSubtree(from, t)
+	case Ping:
+		// A heartbeat carries only the piggybacked scalars; its real payload
+		// is the envelope's arrival, which the failure detector observes
+		// before routing here.
+		c.observeIncumbent(t.Incumbent)
+		c.noteActivity(t.ActAge)
 	}
 	return eff
 }

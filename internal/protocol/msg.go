@@ -60,9 +60,10 @@ const (
 	KindSubtreeReply
 	KindHello
 	KindWelcome
+	KindPing
 
 	// KindCount bounds the dense kind space for accounting arrays.
-	KindCount = int(KindWelcome) + 1
+	KindCount = int(KindPing) + 1
 )
 
 // KindName returns a short stable label for a kind byte, for CLI summaries
@@ -89,6 +90,8 @@ func KindName(k byte) string {
 		return "hello"
 	case KindWelcome:
 		return "welcome"
+	case KindPing:
+		return "ping"
 	}
 	return "other"
 }
@@ -292,6 +295,22 @@ type Welcome struct {
 	Incumbent float64
 	ActAge    float64
 }
+
+// Ping is an explicit heartbeat, sent only when a link has been otherwise
+// idle long enough that the receiver's failure detector would start doubting
+// the sender. It carries nothing beyond the scalars every message already
+// piggybacks — on a busy link the regular gossip traffic *is* the heartbeat,
+// so pings cost nothing in failure-free, work-saturated runs.
+type Ping struct {
+	Incumbent float64
+	ActAge    float64
+}
+
+// Size implements Msg.
+func (m Ping) Size() int { return scalarSize }
+
+// Kind implements Msg.
+func (m Ping) Kind() byte { return KindPing }
 
 // Size implements Msg.
 func (m Welcome) Size() int {

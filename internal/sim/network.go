@@ -106,8 +106,8 @@ func (s *NetStats) add(o NetStats) {
 // (merged read-only at Stats time), which is what makes the parallel run
 // race-free by construction rather than by locking.
 type Network struct {
-	k        *Kernel
-	latency  LatencyModel
+	k       *Kernel
+	latency LatencyModel
 	// linkLatency optionally refines latency per (from, to) pair — see
 	// SetLinkLatency. nil means the size-only model applies everywhere.
 	linkLatency func(from, to NodeID, bytes int) float64
